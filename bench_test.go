@@ -1,0 +1,666 @@
+// Benchmark harness: one benchmark per table and figure of the paper plus
+// the ablation experiments from DESIGN.md. Each benchmark regenerates its
+// artifact from the calibrated synthetic logs and reports the headline
+// numbers as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's rows/series and records paper-vs-measured values
+// (collected into EXPERIMENTS.md).
+package tsubame_test
+
+import (
+	"testing"
+
+	tsubame "repro"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/failures"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// benchSeed keeps every benchmark on the same deterministic dataset.
+const benchSeed = 42
+
+// benchLogs generates both logs once per benchmark.
+func benchLogs(b *testing.B) (t2, t3 *tsubame.Log) {
+	b.Helper()
+	t2, t3, err := tsubame.GenerateBoth(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t2, t3
+}
+
+func benchStudies(b *testing.B) (*tsubame.Study, *tsubame.Study) {
+	b.Helper()
+	t2, t3 := benchLogs(b)
+	s2, err := tsubame.Analyze(t2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s3, err := tsubame.Analyze(t3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s2, s3
+}
+
+// BenchmarkTableI regenerates the node-configuration table.
+func BenchmarkTableI(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.TableI()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// BenchmarkTableII regenerates the failure-category taxonomy table.
+func BenchmarkTableII(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = report.TableII()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// BenchmarkFig2 regenerates the failure-category breakdowns. Paper: GPU
+// 44.37% / CPU 1.78% on Tsubame-2; Software 50.59% / GPU 27.81% / CPU
+// 3.25% on Tsubame-3.
+func BenchmarkFig2(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var shares2, shares3 []core.CategoryShare
+	for i := 0; i < b.N; i++ {
+		var err error
+		if shares2, err = core.CategoryBreakdown(t2); err != nil {
+			b.Fatal(err)
+		}
+		if shares3, err = core.CategoryBreakdown(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(core.ShareOf(shares2, failures.CatGPU), "t2_gpu_pct")
+	b.ReportMetric(core.ShareOf(shares2, failures.CatCPU), "t2_cpu_pct")
+	b.ReportMetric(core.ShareOf(shares3, failures.CatSoftware), "t3_sw_pct")
+	b.ReportMetric(core.ShareOf(shares3, failures.CatGPU), "t3_gpu_pct")
+}
+
+// BenchmarkFig3 regenerates the Tsubame-3 software root-locus breakdown.
+// Paper: GPU-driver ~43%, unknown ~20% of 171 software failures.
+func BenchmarkFig3(b *testing.B) {
+	_, t3 := benchLogs(b)
+	b.ResetTimer()
+	var causes []core.CauseShare
+	for i := 0; i < b.N; i++ {
+		var err error
+		if causes, err = core.SoftwareCauses(t3, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(causes[0].Percent, "gpu_driver_pct")
+	b.ReportMetric(causes[1].Percent, "unknown_pct")
+}
+
+// BenchmarkFig4 regenerates the failures-per-node distributions. Paper:
+// ~60% single-failure nodes on Tsubame-2, ~60% multi-failure nodes on
+// Tsubame-3, ~10% two-failure nodes on both.
+func BenchmarkFig4(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var bins2, bins3 []core.NodeCountBin
+	for i := 0; i < b.N; i++ {
+		var err error
+		if bins2, err = core.NodeFailureCounts(t2); err != nil {
+			b.Fatal(err)
+		}
+		if bins3, err = core.NodeFailureCounts(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(core.PercentWithExactly(bins2, 1), "t2_one_failure_pct")
+	b.ReportMetric(core.PercentWithExactly(bins2, 2), "t2_two_failure_pct")
+	b.ReportMetric(core.PercentWithAtLeast(bins3, 2), "t3_multi_failure_pct")
+}
+
+// BenchmarkFig5 regenerates the GPU-slot distributions. Paper: slot 1
+// ~20% above slots 0/2 on Tsubame-2; outer slots dominate on Tsubame-3.
+func BenchmarkFig5(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var slots2, slots3 []core.SlotShare
+	for i := 0; i < b.N; i++ {
+		var err error
+		if slots2, err = core.GPUSlotDistribution(t2); err != nil {
+			b.Fatal(err)
+		}
+		if slots3, err = core.GPUSlotDistribution(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	outer := (slots2[0].Percent + slots2[2].Percent) / 2
+	b.ReportMetric(slots2[1].Percent/outer, "t2_slot1_over_outer")
+	b.ReportMetric(slots3[0].Percent+slots3[3].Percent, "t3_outer_pct")
+}
+
+// BenchmarkTableIII regenerates the multi-GPU involvement table. Paper:
+// ~70% multi-GPU on Tsubame-2, <8% on Tsubame-3, zero 4-GPU failures.
+func BenchmarkTableIII(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var rows2, rows3 []core.InvolvementRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		if rows2, err = core.MultiGPUInvolvement(t2); err != nil {
+			b.Fatal(err)
+		}
+		if rows3, err = core.MultiGPUInvolvement(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(core.MultiGPUPercent(rows2), "t2_multi_gpu_pct")
+	b.ReportMetric(core.MultiGPUPercent(rows3), "t3_multi_gpu_pct")
+	b.ReportMetric(float64(rows3[3].Count), "t3_four_gpu_count")
+}
+
+// BenchmarkFig6 regenerates the TBF distributions. Paper: MTBF ~15 h vs
+// >70 h; p75 of 20 h vs 93 h.
+func BenchmarkFig6(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var r2, r3 *core.TBFResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r2, err = core.TBFAnalysis(t2); err != nil {
+			b.Fatal(err)
+		}
+		if r3, err = core.TBFAnalysis(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r2.MTBFHours, "t2_mtbf_h")
+	b.ReportMetric(r3.MTBFHours, "t3_mtbf_h")
+	b.ReportMetric(r2.P75, "t2_p75_h")
+	b.ReportMetric(r3.P75, "t3_p75_h")
+}
+
+// BenchmarkFig7 regenerates the per-category TBF boxplots. Paper: GPU
+// MTBF 21.94 h -> 226.48 h (~10x on card incidents), CPU 537.6 h ->
+// 1593.6 h (~3x).
+func BenchmarkFig7(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var perType2, perType3 []core.CategoryDurations
+	for i := 0; i < b.N; i++ {
+		var err error
+		if perType2, err = core.TBFByCategory(t2, 5); err != nil {
+			b.Fatal(err)
+		}
+		if perType3, err = core.TBFByCategory(t3, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(perType2) == 0 || len(perType3) == 0 {
+		b.Fatal("empty per-type TBF")
+	}
+	gpu2, _ := core.GPUCardIncidentMTBF(t2)
+	gpu3, _ := core.GPUCardIncidentMTBF(t3)
+	b.ReportMetric(gpu3/gpu2, "gpu_mtbf_improvement_x")
+	cpu2, _ := core.CategoryMTBF(t2, failures.CatCPU)
+	cpu3, _ := core.CategoryMTBF(t3, failures.CatCPU)
+	b.ReportMetric(cpu3/cpu2, "cpu_mtbf_improvement_x")
+}
+
+// BenchmarkFig8 regenerates the multi-GPU temporal-clustering analysis.
+// Paper: multi-GPU failures "often tend to happen close-by in time".
+func BenchmarkFig8(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	var res *core.MultiGPUTemporalResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = core.MultiGPUTemporal(t2, 72); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.ClusteringScore, "clustering_score")
+	b.ReportMetric(res.WithinWindowPercent, "within_72h_pct")
+}
+
+// BenchmarkFig9 regenerates the TTR distributions. Paper: MTTR ~55 h on
+// both systems with very similar shapes.
+func BenchmarkFig9(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var r2, r3 *core.TTRResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r2, err = core.TTRAnalysis(t2); err != nil {
+			b.Fatal(err)
+		}
+		if r3, err = core.TTRAnalysis(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r2.MTTRHours, "t2_mttr_h")
+	b.ReportMetric(r3.MTTRHours, "t3_mttr_h")
+	b.ReportMetric(r3.MTTRHours/r2.MTTRHours, "mttr_ratio")
+}
+
+// BenchmarkFig10 regenerates the per-category TTR boxplots. Paper:
+// hardware repairs spread wider than software; SSD max ~290 h (T2),
+// power-board ~230 h (T3).
+func BenchmarkFig10(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var perType2, perType3 []core.CategoryDurations
+	for i := 0; i < b.N; i++ {
+		var err error
+		if perType2, err = core.TTRByCategory(t2, 2); err != nil {
+			b.Fatal(err)
+		}
+		if perType3, err = core.TTRByCategory(t3, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(maxOf(perType2, failures.CatSSD), "t2_ssd_max_h")
+	b.ReportMetric(maxOf(perType3, failures.CatPowerBoard), "t3_powerboard_max_h")
+	spread2, err := core.TTRSpread(t2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(spread2.HardwareIQRHours/spread2.SoftwareIQRHours, "t2_hw_over_sw_iqr")
+}
+
+// BenchmarkFig11 regenerates the monthly TTR distributions. Paper:
+// second-half elevation on Tsubame-2 only; no clean seasonal signal.
+func BenchmarkFig11(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var sc2, sc3 core.SeasonalCorrelation
+	for i := 0; i < b.N; i++ {
+		var err error
+		if sc2, err = core.SeasonalAnalysis(t2); err != nil {
+			b.Fatal(err)
+		}
+		if sc3, err = core.SeasonalAnalysis(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sc2.SecondHalfTTRRatio, "t2_second_half_ratio")
+	b.ReportMetric(sc3.SecondHalfTTRRatio, "t3_second_half_ratio")
+}
+
+// BenchmarkFig12 regenerates the monthly failure counts. Paper: monthly
+// density varies, and density does not predict recovery time.
+func BenchmarkFig12(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	var buckets []core.MonthBucket
+	var sc core.SeasonalCorrelation
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buckets, err = core.MonthlySeasonality(t2); err != nil {
+			b.Fatal(err)
+		}
+		if sc, err = core.SeasonalAnalysis(t2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(buckets) != 12 {
+		b.Fatal("expected 12 months")
+	}
+	b.ReportMetric(sc.ChiSquareP, "uniformity_p")
+	b.ReportMetric(sc.Spearman, "density_ttr_spearman")
+}
+
+// BenchmarkPerfErrorProportionality regenerates the paper's proposed
+// metric: useful work per failure-free period grew faster than MTBF.
+func BenchmarkPerfErrorProportionality(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var cmp *core.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		if cmp, err = core.Compare(t2, t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.MTBFImprovement, "mtbf_improvement_x")
+	b.ReportMetric(cmp.PEPRatio, "pep_gain_x")
+}
+
+// --- Ablations (DESIGN.md A1-A5) ---
+
+// BenchmarkAblationLoadBalance compares GPU-slot placement policies under
+// Figure 5's non-uniform slot failure rates (RQ2 implication).
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	// Moderate load (~0.8 of one slot) so the policies actually choose
+	// different slots: packed concentrates on failure-prone slot 0 while
+	// reliability-aware placement prefers the inner slots.
+	cfg := sched.LoadBalanceConfig{
+		SlotWeights:            []float64{1.5, 0.75, 0.75, 1.5},
+		BaseRatePerHour:        0.002,
+		UtilizationSensitivity: 0.8,
+		JobHours:               24,
+		ArrivalEveryHours:      30,
+		HorizonHours:           200000,
+		Seed:                   benchSeed,
+	}
+	var results []*sched.LoadBalanceResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if results, err = sched.CompareLoadBalance(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(results[0].InterruptionRate, "packed_interrupt_rate")
+	b.ReportMetric(results[1].InterruptionRate, "balanced_interrupt_rate")
+	b.ReportMetric(results[2].InterruptionRate, "aware_interrupt_rate")
+}
+
+// BenchmarkAblationSpares compares spare-provisioning policies on fitted
+// Tsubame-2 processes (RQ5 implication).
+func BenchmarkAblationSpares(b *testing.B) {
+	t2, _ := benchLogs(b)
+	procs, err := sim.ProcessesFromLog(t2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(parts sim.PartsPolicy) *sim.Result {
+		res, err := sim.Run(sim.Config{
+			Nodes: 1408, GPUsPerNode: 3, HorizonHours: 8760, Processes: procs,
+			Crews: 8, Parts: parts, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.ResetTimer()
+	var fixed, predictive *sim.Result
+	for i := 0; i < b.N; i++ {
+		fixedParts, err := tsubame.FixedSpares(1, 72)
+		if err != nil {
+			b.Fatal(err)
+		}
+		predParts, err := tsubame.PredictiveSpares(0.3, 72, 1.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixed = run(fixedParts)
+		predictive = run(predParts)
+	}
+	b.ReportMetric(fixed.MeanRepairWait, "fixed_wait_h")
+	b.ReportMetric(predictive.MeanRepairWait, "predictive_wait_h")
+}
+
+// BenchmarkAblationPrediction back-tests the temporal-locality predictor
+// against the clustered multi-GPU failures (RQ5 implication: prediction-
+// initiated proactive recovery).
+func BenchmarkAblationPrediction(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	var recall, lift float64
+	for i := 0; i < b.N; i++ {
+		ev, err := tsubame.EvaluateLocalityPredictor(t2, 72)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall, lift = ev.Recall(), ev.Lift()
+	}
+	b.ReportMetric(100*recall, "recall_pct")
+	b.ReportMetric(lift, "lift_x")
+}
+
+// BenchmarkAblationCheckpoint sweeps checkpoint intervals in both MTBF
+// regimes (cross-generation implication of RQ4).
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	m2 := sched.CheckpointModel{CheckpointCostHours: 0.1, RestartCostHours: 0.2, MTBFHours: 15.3}
+	m3 := sched.CheckpointModel{CheckpointCostHours: 0.1, RestartCostHours: 0.2, MTBFHours: 72.6}
+	intervals := []float64{0.5, 1, 1.65, 2, 3.7, 6, 12}
+	var best2, best3 float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		if best2, _, err = sched.IntervalSweep(m2, intervals); err != nil {
+			b.Fatal(err)
+		}
+		if best3, _, err = sched.IntervalSweep(m3, intervals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(best2, "t2_best_interval_h")
+	b.ReportMetric(best3, "t3_best_interval_h")
+}
+
+// BenchmarkAblationClustering measures how temporal clustering of
+// failures (Figure 8) changes checkpointed goodput versus a memoryless
+// process with the same MTBF: the clustered stream is a hyperexponential
+// burst/calm mixture (30% of gaps average 5 h, the rest stretch so the
+// mean stays 72.6 h), giving the bursty inter-arrival pattern the
+// multi-GPU analysis observed.
+func BenchmarkAblationClustering(b *testing.B) {
+	m := sched.CheckpointModel{CheckpointCostHours: 0.1, RestartCostHours: 0.2, MTBFHours: 72.6}
+	tau := m.OptimalInterval()
+	exp, err := tsubame.ExponentialDist(m.MTBFHours)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clustered, err := tsubame.BurstyDist(m.MTBFHours, 0.3, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var effRenewal, effClustered float64
+	for i := 0; i < b.N; i++ {
+		if effRenewal, err = sched.SimulatedEfficiency(m, tau, exp, 200000, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+		if effClustered, err = sched.SimulatedEfficiency(m, tau, clustered, 200000, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(effRenewal, "renewal_efficiency")
+	b.ReportMetric(effClustered, "clustered_efficiency")
+}
+
+// BenchmarkGenerate measures raw synthetic-log generation throughput.
+func BenchmarkGenerate(b *testing.B) {
+	p := synth.Tsubame2Profile()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullStudy measures the full RQ1-RQ5 battery on one log.
+func BenchmarkFullStudy(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsubame.Analyze(t2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func maxOf(rows []core.CategoryDurations, cat failures.Category) float64 {
+	for _, r := range rows {
+		if r.Category == cat {
+			return r.Summary.Max
+		}
+	}
+	return 0
+}
+
+// --- Extensions beyond the paper's figures ---
+
+// BenchmarkExtRackConcentration measures the rack-level failure
+// concentration extension (related-work observation of rack
+// non-uniformity).
+func BenchmarkExtRackConcentration(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	var res *core.SpatialResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if res, err = core.SpatialAnalysis(t2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RackGini, "rack_gini")
+	b.ReportMetric(100*res.Top10PctRackShare, "top10pct_rack_share_pct")
+}
+
+// BenchmarkExtSurvival measures the per-card Kaplan-Meier extension (the
+// card-lifetime view of the paper's reference [11]).
+func BenchmarkExtSurvival(b *testing.B) {
+	t2, t3 := benchLogs(b)
+	b.ResetTimer()
+	var s2, s3 *core.GPUSurvivalResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if s2, err = core.GPUSurvival(t2); err != nil {
+			b.Fatal(err)
+		}
+		if s3, err = core.GPUSurvival(t3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*s2.SurvivalAtOneYear, "t2_year_survival_pct")
+	b.ReportMetric(100*s3.SurvivalAtOneYear, "t3_year_survival_pct")
+}
+
+// BenchmarkExtRollingMTBF measures the rolling reliability series.
+func BenchmarkExtRollingMTBF(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	var trend float64
+	for i := 0; i < b.N; i++ {
+		series, err := core.RollingMTBF(t2, 90, 45)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if trend, err = core.MTBFTrend(series); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(trend, "late_over_early_mtbf")
+}
+
+// BenchmarkAblationColocation measures how Table III's involvement
+// distributions change the blast radius of co-locating single-GPU jobs on
+// one node (RQ3 implication: scheduler design for co-location).
+func BenchmarkAblationColocation(b *testing.B) {
+	t2cfg := sched.ColocationConfig{
+		GPUsPerNode:    3,
+		InvolvementPMF: []float64{0.3044, 0.3478, 0.3478},
+		JobsPerNode:    3,
+		Trials:         100000,
+		Seed:           benchSeed,
+	}
+	t3cfg := sched.ColocationConfig{
+		GPUsPerNode:    4,
+		InvolvementPMF: []float64{0.926, 0.0495, 0.0245, 0},
+		JobsPerNode:    4,
+		Trials:         100000,
+		Seed:           benchSeed,
+	}
+	var r2, r3 *sched.ColocationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		if r2, err = sched.SimulateColocation(t2cfg); err != nil {
+			b.Fatal(err)
+		}
+		if r3, err = sched.SimulateColocation(t3cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r2.ColocatedKillsPerFailure, "t2_jobs_killed_per_failure")
+	b.ReportMetric(r3.ColocatedKillsPerFailure, "t3_jobs_killed_per_failure")
+}
+
+// BenchmarkAblationProactiveRecovery measures prediction-initiated repair
+// discounts on bursty fitted Tsubame-2 processes (RQ5: "initiate recovery
+// proactively").
+func BenchmarkAblationProactiveRecovery(b *testing.B) {
+	t2, _ := benchLogs(b)
+	procs, err := sim.ProcessesFromLog(t2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := sim.Config{Nodes: 1408, GPUsPerNode: 3, HorizonHours: 8760, Processes: procs, Seed: 1}
+	proactive := base
+	proactive.Proactive = &sim.ProactiveRecovery{WindowHours: 24, Factor: 0.5}
+	var plain, alarmed *sim.Result
+	for i := 0; i < b.N; i++ {
+		if plain, err = sim.Run(base); err != nil {
+			b.Fatal(err)
+		}
+		if alarmed, err = sim.Run(proactive); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plain.NodeHoursLost, "plain_node_hours_lost")
+	b.ReportMetric(alarmed.NodeHoursLost, "proactive_node_hours_lost")
+	b.ReportMetric(float64(alarmed.DiscountedRepairs), "discounted_repairs")
+}
+
+// BenchmarkAblationCostCurve sweeps spare-stock levels against downtime
+// and holding prices (RQ5: "maintaining balance is the key").
+func BenchmarkAblationCostCurve(b *testing.B) {
+	t2, _ := benchLogs(b)
+	procs, err := sim.ProcessesFromLog(t2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cost.SweepConfig{
+		Nodes:         1408,
+		GPUsPerNode:   3,
+		Processes:     procs,
+		HorizonHours:  8760,
+		Seed:          1,
+		LeadTimeHours: 120,
+		Stocks:        []int{0, 1, 2, 4, 8, 16, 32},
+		Prices:        cost.Prices{DowntimePerNodeHour: 100, HoldingPerPartYear: 5000},
+	}
+	var points []cost.Point
+	var optimal int
+	for i := 0; i < b.N; i++ {
+		if points, optimal, err = cost.Sweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points[optimal].Stock), "optimal_stock")
+	b.ReportMetric(points[optimal].Total, "optimal_total_cost")
+	b.ReportMetric(points[0].Total, "zero_stock_total_cost")
+}
+
+// BenchmarkExtWorkloadAttribution tests the paper's scope note that no
+// application exceeds its proportional failure share.
+func BenchmarkExtWorkloadAttribution(b *testing.B) {
+	t2, _ := benchLogs(b)
+	capacity, err := tsubame.WorkloadCapacity(t2, 1408, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace, err := tsubame.GenerateWorkloadTrace(30, capacity, 1.0, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var att *tsubame.WorkloadAttribution
+	for i := 0; i < b.N; i++ {
+		if att, err = tsubame.AttributeFailures(t2, trace, nil, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(att.P, "proportionality_p")
+	b.ReportMetric(att.MaxExcessRatio, "max_excess_ratio")
+}

@@ -1,0 +1,78 @@
+// Command tsubame-analyze runs the paper's RQ1-RQ5 analysis battery over
+// a failure log (CSV or NDJSON, as produced by tsubame-gen or converted
+// from an operator's log) and prints the per-system tables and figures.
+//
+// Usage:
+//
+//	tsubame-analyze -in tsubame2.csv
+//	tsubame-gen -system t3 | tsubame-analyze -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	tsubame "repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsubame-analyze: ")
+	var (
+		in     = flag.String("in", "", "input log file (default stdin)")
+		format = flag.String("format", "", "input format: csv or ndjson (default: from file extension, else csv)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+		name = *in
+	}
+	failureLog, err := cli.ReadLog(r, cli.DetectFormat(*format, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := tsubame.Analyze(failureLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Analyzed %d failures on %v over %.0f days.\n\n", study.Records, study.System, study.SpanDays)
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 10, 11, 12} {
+		if s := tsubame.RenderFigure(n, study); s != "" {
+			fmt.Println(s)
+		}
+	}
+	fmt.Printf("MTBF %.1f h (p75 %.1f h); MTTR %.1f h (max %.0f h).\n",
+		study.TBF.MTBFHours, study.TBF.P75, study.TTR.MTTRHours, study.TTR.MaxHours)
+	fmt.Printf("Performance-error-proportionality: %.3f ZFLOP per MTBF window.\n\n", study.PEP.FLOPPerMTBF)
+
+	// Extension analyses (spatial concentration, card survival, rolling
+	// reliability) when the log carries the needed attribution.
+	if study.Spatial != nil {
+		fmt.Println(tsubame.RenderSpatial(study))
+	}
+	if study.Survival != nil {
+		fmt.Printf("GPU cards: %d of %d saw a failure; one-year card survival %.1f%%.\n",
+			study.Survival.Failed, study.Survival.Cards, 100*study.Survival.SurvivalAtOneYear)
+	}
+	if series, err := tsubame.RollingMTBF(failureLog, 90, 45); err == nil {
+		fmt.Println()
+		fmt.Print(tsubame.RenderRollingMTBF("Rolling 90-day MTBF.", series))
+	}
+	if rows, err := tsubame.TTRSignificanceByCategory(failureLog, 10); err == nil {
+		fmt.Println()
+		fmt.Print(tsubame.RenderTTRSignificance(study.System.String(), rows))
+	}
+}

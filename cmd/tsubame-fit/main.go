@@ -1,0 +1,84 @@
+// Command tsubame-fit fits parametric models to a failure log's
+// inter-arrival and recovery distributions, per category and system-wide,
+// reporting KS distance and AIC per family. It is the distribution-
+// modelling companion to tsubame-analyze: its output feeds simulator
+// configurations and capacity-planning spreadsheets.
+//
+// Usage:
+//
+//	tsubame-fit -system t2            # fit the synthetic Tsubame-2 log
+//	tsubame-fit -in mylog.csv         # fit a supplied log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	tsubame "repro"
+	"repro/internal/cli"
+	"repro/internal/dist"
+	"repro/internal/failures"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsubame-fit: ")
+	var (
+		systemName = flag.String("system", "t2", "system to synthesize when no -in is given: t2 or t3")
+		seed       = flag.Int64("seed", 42, "synthetic log seed")
+		in         = flag.String("in", "", "input CSV log (default: synthetic)")
+		minCount   = flag.Int("min", 10, "minimum records for a per-category fit")
+	)
+	flag.Parse()
+
+	failureLog, err := cli.LoadLog(*in, *systemName, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Distribution fits for %v (%d records).\n\n", failureLog.System(), failureLog.Len())
+	fmt.Println("System-wide time between failures:")
+	printFits(failureLog.InterarrivalHours())
+	fmt.Println("\nSystem-wide time to recovery:")
+	printFits(failureLog.RecoveryHours())
+
+	counts := failureLog.ByCategory()
+	cats := make([]failures.Category, 0, len(counts))
+	for cat, n := range counts {
+		if n >= *minCount {
+			cats = append(cats, cat)
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool { return counts[cats[i]] > counts[cats[j]] })
+	for _, cat := range cats {
+		cat := cat
+		sub := failureLog.Filter(func(f tsubame.Failure) bool { return f.Category == cat })
+		fmt.Printf("\n%s (%d records) time between failures:\n", cat, sub.Len())
+		printFits(sub.InterarrivalHours())
+		fmt.Printf("%s time to recovery:\n", cat)
+		printFits(sub.RecoveryHours())
+	}
+}
+
+func printFits(sample []float64) {
+	positive := sample[:0:0]
+	for _, x := range sample {
+		if x > 0 {
+			positive = append(positive, x)
+		}
+	}
+	fits, err := dist.FitAll(positive)
+	if err != nil {
+		fmt.Printf("  (no fit: %v)\n", err)
+		return
+	}
+	for i, fit := range fits {
+		marker := " "
+		if i == 0 {
+			marker = "*" // best by KS
+		}
+		fmt.Printf("  %s %-12s %-38s KS=%.4f AIC=%.1f\n", marker, fit.Name, fit.Dist, fit.KS, fit.AIC)
+	}
+}

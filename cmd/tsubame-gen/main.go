@@ -1,0 +1,95 @@
+// Command tsubame-gen generates calibrated synthetic failure logs for the
+// Tsubame-2 and Tsubame-3 supercomputers and writes them as CSV or NDJSON.
+//
+// Usage:
+//
+//	tsubame-gen -system t2 -seed 42 -format csv -out tsubame2.csv
+//	tsubame-gen -system t3 -format ndjson        # stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	tsubame "repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsubame-gen: ")
+	var (
+		systemName    = flag.String("system", "t2", "system to generate: t2 or t3")
+		seed          = flag.Int64("seed", 42, "deterministic generator seed")
+		format        = flag.String("format", "csv", "output format: csv or ndjson")
+		out           = flag.String("out", "", "output file (default stdout)")
+		profilePath   = flag.String("profile", "", "custom calibration profile JSON (overrides -system)")
+		exportDefault = flag.Bool("export-profile", false, "print the -system profile as JSON and exit (starting point for -profile)")
+	)
+	flag.Parse()
+
+	failureLog, err := buildLog(*profilePath, *systemName, *seed, *exportDefault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if failureLog == nil {
+		return // -export-profile already printed
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := cli.WriteLog(w, failureLog, *format); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d %v failures to %s\n", failureLog.Len(), failureLog.System(), *out)
+	}
+}
+
+// buildLog resolves the generation source: a custom profile file, or the
+// built-in profile of the named system. With exportDefault it prints the
+// built-in profile as JSON to stdout and returns a nil log.
+func buildLog(profilePath, systemName string, seed int64, exportDefault bool) (*tsubame.Log, error) {
+	if exportDefault {
+		sys, err := cli.ParseSystem(systemName)
+		if err != nil {
+			return nil, err
+		}
+		profile, err := tsubame.ProfileForSystem(sys)
+		if err != nil {
+			return nil, err
+		}
+		return nil, tsubame.WriteProfile(os.Stdout, profile)
+	}
+	if profilePath != "" {
+		f, err := os.Open(profilePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		profile, err := tsubame.ReadProfile(f)
+		if err != nil {
+			return nil, err
+		}
+		return tsubame.GenerateFromProfile(profile, seed)
+	}
+	sys, err := cli.ParseSystem(systemName)
+	if err != nil {
+		return nil, err
+	}
+	return tsubame.GenerateLog(sys, seed)
+}

@@ -1,0 +1,90 @@
+// Command tsubame-report regenerates every table and figure of the paper
+// from the calibrated synthetic logs (or from two supplied logs), in paper
+// order: Tables I-III and Figures 2-12 plus the performance-error-
+// proportionality analysis.
+//
+// Usage:
+//
+//	tsubame-report                      # synthetic logs, seed 42
+//	tsubame-report -seed 7
+//	tsubame-report -t2 old.csv -t3 new.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	tsubame "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsubame-report: ")
+	var (
+		seed       = flag.Int64("seed", 42, "seed for the synthetic logs")
+		t2Path     = flag.String("t2", "", "Tsubame-2 log CSV (default: synthetic)")
+		t3Path     = flag.String("t3", "", "Tsubame-3 log CSV (default: synthetic)")
+		markdown   = flag.Bool("markdown", false, "emit a markdown document instead of text plots")
+		extensions = flag.Bool("extensions", false, "append the extension analyses (drift, spatial, survival, rolling MTBF)")
+	)
+	flag.Parse()
+
+	t2, t3, err := loadLogs(*seed, *t2Path, *t3Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := tsubame.Compare(t2, t3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *markdown {
+		fmt.Print(tsubame.RenderMarkdownReport(cmp))
+		return
+	}
+	fmt.Print(tsubame.RenderFullReport(cmp))
+	if *extensions {
+		fmt.Println()
+		fmt.Println(tsubame.RenderDrift(cmp))
+		fmt.Println(tsubame.RenderSurvival(cmp))
+		fmt.Println(tsubame.RenderSpatial(cmp.Old))
+		fmt.Println(tsubame.RenderSpatial(cmp.New))
+		for _, entry := range []struct {
+			name string
+			l    *tsubame.Log
+		}{{"Tsubame-2", t2}, {"Tsubame-3", t3}} {
+			if series, err := tsubame.RollingMTBF(entry.l, 90, 45); err == nil {
+				fmt.Print(tsubame.RenderRollingMTBF("Rolling 90-day MTBF on "+entry.name+".", series))
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func loadLogs(seed int64, t2Path, t3Path string) (t2, t3 *tsubame.Log, err error) {
+	if t2Path == "" && t3Path == "" {
+		return tsubame.GenerateBoth(seed)
+	}
+	if t2Path == "" || t3Path == "" {
+		return nil, nil, fmt.Errorf("supply both -t2 and -t3, or neither")
+	}
+	t2, err = readCSVFile(t2Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	t3, err = readCSVFile(t3Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t2, t3, nil
+}
+
+func readCSVFile(path string) (*tsubame.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tsubame.ReadCSV(f)
+}

@@ -1,0 +1,133 @@
+// Command tsubame-sim runs operational what-if simulations on failure
+// processes fitted from a (synthetic or supplied) failure log: repair-crew
+// sizing, spare-provisioning policies, and checkpoint-interval tuning —
+// the paper's implications experiments.
+//
+// Usage:
+//
+//	tsubame-sim -system t2 -horizon 8760 -crews 4 -spares fixed -stock 1 -lead 72
+//	tsubame-sim -system t3 -spares predictive
+//	tsubame-sim -system t2 -checkpoint -ckpt-cost 0.1 -restart-cost 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	tsubame "repro"
+	"repro/internal/cli"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsubame-sim: ")
+	var (
+		systemName = flag.String("system", "t2", "system whose fitted processes drive the simulation: t2 or t3")
+		seed       = flag.Int64("seed", 42, "deterministic seed")
+		horizon    = flag.Float64("horizon", 8760, "simulated hours")
+		crews      = flag.Int("crews", 0, "repair crews (0 = unlimited)")
+		sparesKind = flag.String("spares", "unlimited", "spares policy: unlimited, fixed, predictive")
+		stock      = flag.Int("stock", 1, "initial per-category stock for -spares fixed")
+		lead       = flag.Float64("lead", 72, "spare delivery lead time in hours")
+		checkpoint = flag.Bool("checkpoint", false, "also run the checkpoint-interval sweep")
+		ckptCost   = flag.Float64("ckpt-cost", 0.1, "checkpoint write cost in hours")
+		restart    = flag.Float64("restart-cost", 0.2, "restart cost in hours")
+		proactive  = flag.Float64("proactive", 0, "repair-duration factor for alarm-predicted failures (0 = off, e.g. 0.5)")
+		alarmHours = flag.Float64("alarm", 24, "proactive alarm window in hours")
+	)
+	flag.Parse()
+
+	sys, err := cli.ParseSystem(*systemName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failureLog, err := tsubame.GenerateLog(sys, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs, err := tsubame.FitProcesses(failureLog, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := buildParts(*sparesKind, *stock, *lead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine, err := tsubame.MachineFor(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tsubame.SimConfig{
+		Nodes:        machine.Nodes,
+		NodesPerRack: machine.NodesPerRack,
+		GPUsPerNode:  machine.Node.NumGPUs,
+		HorizonHours: *horizon,
+		Processes:    procs,
+		Crews:        *crews,
+		Parts:        parts,
+		Seed:         *seed,
+	}
+	if *proactive > 0 {
+		cfg.Proactive = &tsubame.ProactiveRecovery{WindowHours: *alarmHours, Factor: *proactive}
+	}
+	res, err := tsubame.RunSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Simulated %v for %.0f h: %d failures, %d repairs completed.\n",
+		sys, *horizon, res.Failures, res.CompletedRepairs)
+	if cfg.Proactive != nil {
+		fmt.Printf("Proactive recovery: %d repairs discounted to %.0f%% duration (alarm window %.0f h).\n",
+			res.DiscountedRepairs, 100*cfg.Proactive.Factor, cfg.Proactive.WindowHours)
+	}
+	fmt.Printf("Availability %.4f (%.0f node-hours lost); mean wait %.1f h; mean restore %.1f h; peak queue %d.\n",
+		res.Availability, res.NodeHoursLost, res.MeanRepairWait, res.MeanTimeToRestore, res.PeakQueue)
+	cats := make([]string, 0, len(res.PerCategory))
+	for cat := range res.PerCategory {
+		cats = append(cats, string(cat))
+	}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		s := res.PerCategory[tsubame.Category(cat)]
+		fmt.Printf("  %-12s %4d failures, %8.0f repair-hours, %8.0f wait-hours\n",
+			cat, s.Failures, s.RepairHours, s.WaitHours)
+	}
+
+	if *checkpoint {
+		study, err := tsubame.Analyze(failureLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := tsubame.CheckpointModel{
+			CheckpointCostHours: *ckptCost,
+			RestartCostHours:    *restart,
+			MTBFHours:           study.TBF.MTBFHours,
+		}
+		fmt.Printf("\nCheckpoint tuning (MTBF %.1f h): Young/Daly optimum %.2f h.\n",
+			m.MTBFHours, m.OptimalInterval())
+		for _, tau := range []float64{m.OptimalInterval() / 4, m.OptimalInterval(), m.OptimalInterval() * 4} {
+			eff, err := m.Efficiency(tau)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  interval %6.2f h -> efficiency %.4f\n", tau, eff)
+		}
+	}
+}
+
+func buildParts(kind string, stock int, lead float64) (sim.PartsPolicy, error) {
+	switch kind {
+	case "unlimited":
+		return tsubame.UnlimitedSpares(), nil
+	case "fixed":
+		return tsubame.FixedSpares(stock, lead)
+	case "predictive":
+		return tsubame.PredictiveSpares(0.3, lead, 1.5)
+	default:
+		return nil, fmt.Errorf("unknown spares policy %q", kind)
+	}
+}

@@ -1,0 +1,113 @@
+package tsubame_test
+
+import (
+	"fmt"
+	"log"
+
+	tsubame "repro"
+)
+
+// ExampleGenerateBoth demonstrates the one-call reproduction entry point:
+// both generations' calibrated logs from a single seed.
+func ExampleGenerateBoth() {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t2.Len(), "Tsubame-2 failures")
+	fmt.Println(t3.Len(), "Tsubame-3 failures")
+	// Output:
+	// 897 Tsubame-2 failures
+	// 338 Tsubame-3 failures
+}
+
+// ExampleCompare shows the headline cross-generation numbers the paper
+// reports: the MTBF improved >4x while the MTTR stood still.
+func ExampleCompare() {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := tsubame.Compare(t2, t3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MTBF improvement: %.1fx\n", cmp.MTBFImprovement)
+	fmt.Printf("MTTR ratio: %.1f\n", cmp.MTTRRatio)
+	// Output:
+	// MTBF improvement: 4.7x
+	// MTTR ratio: 1.1
+}
+
+// ExampleAnalyze runs the RQ battery on one log and reads a single
+// figure's data out of the study.
+func ExampleAnalyze() {
+	t2, err := tsubame.GenerateLog(tsubame.Tsubame2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := tsubame.Analyze(t2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := study.Breakdown[0]
+	fmt.Printf("%s: %.2f%%\n", top.Category, top.Percent)
+	// Output:
+	// GPU: 44.37%
+}
+
+// ExampleCheckpointModel ties the measured MTBF to application-level
+// fault-tolerance tuning via the Young/Daly optimum.
+func ExampleCheckpointModel() {
+	m := tsubame.CheckpointModel{
+		CheckpointCostHours: 0.1,
+		RestartCostHours:    0.2,
+		MTBFHours:           15.3, // Tsubame-2
+	}
+	fmt.Printf("optimal interval: %.2f h\n", m.OptimalInterval())
+	// Output:
+	// optimal interval: 1.65 h
+}
+
+// ExampleRunSimulation drives the failure/repair simulator with processes
+// fitted from an analyzed log — the paper's measurement-to-operations
+// loop in four calls.
+func ExampleRunSimulation() {
+	t2, err := tsubame.GenerateLog(tsubame.Tsubame2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs, err := tsubame.FitProcesses(t2, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tsubame.RunSimulation(tsubame.SimConfig{
+		Nodes:        1408,
+		GPUsPerNode:  3,
+		HorizonHours: 8760,
+		Processes:    procs,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("availability above 99%%: %v\n", res.Availability > 0.99)
+	// Output:
+	// availability above 99%: true
+}
+
+// ExampleAnonymizeLog shows the business-sensitivity transform: node
+// identities are pseudonymized under a key before a log leaves the site.
+func ExampleAnonymizeLog() {
+	t2, err := tsubame.GenerateLog(tsubame.Tsubame2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anon, err := tsubame.AnonymizeLog(t2, tsubame.AnonymizeOptions{Key: "site-secret"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(anon.Len() == t2.Len(), anon.At(0).Node[:1])
+	// Output:
+	// true x
+}

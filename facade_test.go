@@ -1,0 +1,170 @@
+package tsubame_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	tsubame "repro"
+	"repro/internal/cost"
+)
+
+// TestFacadeExtensionsEndToEnd drives every extension entry point of the
+// public API on one dataset.
+func TestFacadeExtensionsEndToEnd(t *testing.T) {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := tsubame.Compare(t2, t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rendering surface.
+	if !strings.Contains(tsubame.RenderSummary(cmp), "MTBF improvement") {
+		t.Error("summary rendering broken")
+	}
+	if !strings.Contains(tsubame.RenderSpatial(cmp.Old), "rack Gini") {
+		t.Error("spatial rendering broken")
+	}
+	if !strings.Contains(tsubame.RenderSurvival(cmp), "card survival") {
+		t.Error("survival rendering broken")
+	}
+	if !strings.Contains(tsubame.RenderDrift(cmp), "drift") {
+		t.Error("drift rendering broken")
+	}
+	if !strings.Contains(tsubame.RenderMarkdownReport(cmp), "# Failure and repair study") {
+		t.Error("markdown rendering broken")
+	}
+
+	// Rolling reliability.
+	series, err := tsubame.RollingMTBF(t2, 90, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trend, err := tsubame.MTBFTrend(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trend < 0.5 || trend > 2 {
+		t.Errorf("stationary log trend = %v, want near 1", trend)
+	}
+	if !strings.Contains(tsubame.RenderRollingMTBF("R.", series), "R.") {
+		t.Error("rolling rendering broken")
+	}
+
+	// Prediction intervals.
+	ev, err := tsubame.EvaluatePredictionIntervals(t2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := ev.ObservedCoverage(); cov < 0.7 || cov > 0.9 {
+		t.Errorf("interval coverage = %v at nominal 0.8", cov)
+	}
+
+	// Workload attribution.
+	capacity, err := tsubame.WorkloadCapacity(t2, 1408, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceMix, err := tsubame.GenerateWorkloadTrace(25, capacity, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := tsubame.AttributeFailures(t2, traceMix, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.P < 0.001 {
+		t.Errorf("null attribution rejected: p = %v", att.P)
+	}
+
+	// Cost sweep.
+	procs, err := tsubame.FitProcesses(t2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, optimal, err := tsubame.CostSweep(cost.SweepConfig{
+		Nodes: 1408, GPUsPerNode: 3, Processes: procs, HorizonHours: 2000,
+		Seed: 1, LeadTimeHours: 120, Stocks: []int{0, 2},
+		Prices: tsubame.CostPrices{DowntimePerNodeHour: 100, HoldingPerPartYear: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || optimal < 0 || optimal > 1 {
+		t.Errorf("cost sweep = %v, optimal %d", points, optimal)
+	}
+
+	// Unlimited spares policy through the facade.
+	res, err := tsubame.RunSimulation(tsubame.SimConfig{
+		Nodes: 100, GPUsPerNode: 3, HorizonHours: 1000,
+		Processes: procs, Parts: tsubame.UnlimitedSpares(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRepairWait != 0 {
+		t.Errorf("unlimited spares waited %v", res.MeanRepairWait)
+	}
+}
+
+// TestFacadeProfilesAndAnonymize drives the profile IO and anonymization
+// entry points.
+func TestFacadeProfilesAndAnonymize(t *testing.T) {
+	p, err := tsubame.ProfileForSystem(tsubame.Tsubame3)
+	if err != nil || p.Name != "tsubame3" {
+		t.Fatalf("ProfileForSystem = %v, %v", p, err)
+	}
+	if tsubame.Tsubame3Profile().TotalFailures() != p.TotalFailures() {
+		t.Error("profile getters disagree")
+	}
+	var buf bytes.Buffer
+	if err := tsubame.WriteProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tsubame.ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalFailures() != p.TotalFailures() {
+		t.Error("profile round trip changed totals")
+	}
+
+	log, err := tsubame.GenerateFromProfile(back, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := tsubame.AnonymizeLog(log, tsubame.AnonymizeOptions{Key: "k", DropSoftwareCauses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range anon.Records() {
+		if r.SoftwareCause != "" {
+			t.Fatal("software cause survived anonymization")
+		}
+		if r.Node != "" && r.Node[0] != 'x' {
+			t.Fatalf("node %q not pseudonymized", r.Node)
+		}
+	}
+}
+
+// TestFacadePeriodDiff drives the period-diff entry point.
+func TestFacadePeriodDiff(t *testing.T) {
+	t2, _, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := t2.SplitFraction(0.5)
+	d, err := tsubame.DiffPeriods(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BeforeFailures == 0 || d.AfterFailures == 0 {
+		t.Errorf("diff = %+v", d)
+	}
+	if d.Improved(0.001) {
+		t.Error("stationary split should not show improvement at alpha 0.001")
+	}
+}

@@ -1,0 +1,142 @@
+// Package cli holds the small shared helpers of the command-line tools:
+// system-name parsing, log loading (synthetic or from file, with format
+// detection), and output-file plumbing. Keeping them here makes the
+// behaviour uniform across tools and testable.
+package cli
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/failures"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// ParseSystem accepts the user-facing spellings of the two systems.
+func ParseSystem(name string) (failures.System, error) {
+	switch strings.ToLower(name) {
+	case "t2", "tsubame2", "tsubame-2":
+		return failures.Tsubame2, nil
+	case "t3", "tsubame3", "tsubame-3":
+		return failures.Tsubame3, nil
+	default:
+		return 0, fmt.Errorf("unknown system %q (want t2 or t3)", name)
+	}
+}
+
+// DetectFormat picks the serialization format: an explicit value wins,
+// otherwise the filename extension decides, defaulting to CSV.
+func DetectFormat(explicit, filename string) string {
+	if explicit != "" {
+		return explicit
+	}
+	if strings.HasSuffix(filename, ".ndjson") || strings.HasSuffix(filename, ".jsonl") {
+		return "ndjson"
+	}
+	return "csv"
+}
+
+// ReadLog parses a failure log from r in the given format ("csv" or
+// "ndjson").
+func ReadLog(r io.Reader, format string) (*failures.Log, error) {
+	switch format {
+	case "csv":
+		return trace.ReadCSV(r)
+	case "ndjson":
+		return trace.ReadNDJSON(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want csv or ndjson)", format)
+	}
+}
+
+// WriteLog serializes a log to w in the given format.
+func WriteLog(w io.Writer, log *failures.Log, format string) error {
+	switch format {
+	case "csv":
+		return trace.WriteCSV(w, log)
+	case "ndjson":
+		return trace.WriteNDJSON(w, log)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or ndjson)", format)
+	}
+}
+
+// LoadLog returns the log the tool should operate on: the file at path
+// (format-detected) when given, otherwise the synthetic log of the named
+// system.
+func LoadLog(path, systemName string, seed int64) (*failures.Log, error) {
+	if path == "" {
+		sys, err := ParseSystem(systemName)
+		if err != nil {
+			return nil, err
+		}
+		profile, err := synth.ProfileFor(sys)
+		if err != nil {
+			return nil, err
+		}
+		return synth.Generate(profile, seed)
+	}
+	return LoadLogFile(path)
+}
+
+// openMaybeGzip wraps r with a gzip reader when the filename says so.
+func openMaybeGzip(r io.Reader, filename string) (io.Reader, func() error, error) {
+	if !strings.HasSuffix(filename, ".gz") {
+		return r, func() error { return nil }, nil
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cli: opening gzip stream: %w", err)
+	}
+	return zr, zr.Close, nil
+}
+
+// LoadLogFile reads a log from a path with transparent gzip decompression
+// (".gz" suffix) and format detection on the remaining extension.
+func LoadLogFile(path string) (*failures.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	inner := strings.TrimSuffix(path, ".gz")
+	r, closeFn, err := openMaybeGzip(f, path)
+	if err != nil {
+		return nil, err
+	}
+	log, err := ReadLog(r, DetectFormat("", inner))
+	if cerr := closeFn(); err == nil && cerr != nil {
+		return nil, cerr
+	}
+	return log, err
+}
+
+// WriteLogFile writes a log to a path with transparent gzip compression
+// (".gz" suffix) and format detection on the remaining extension.
+func WriteLogFile(path string, log *failures.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	inner := strings.TrimSuffix(path, ".gz")
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	err = WriteLog(w, log, DetectFormat("", inner))
+	if zw != nil {
+		if cerr := zw.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

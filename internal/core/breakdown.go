@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/failures"
+)
+
+// CategoryShare is one bar of Figure 2: a failure category's share of the
+// log.
+type CategoryShare struct {
+	Category failures.Category
+	Count    int
+	Percent  float64
+}
+
+// CategoryBreakdown computes the per-category failure shares (RQ1,
+// Figure 2), sorted by descending count with ties broken by category name
+// for determinism.
+func CategoryBreakdown(log *failures.Log) ([]CategoryShare, error) {
+	if log.Len() == 0 {
+		return nil, ErrEmptyLog
+	}
+	counts := log.ByCategory()
+	out := make([]CategoryShare, 0, len(counts))
+	total := float64(log.Len())
+	for cat, n := range counts {
+		out = append(out, CategoryShare{Category: cat, Count: n, Percent: 100 * float64(n) / total})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out, nil
+}
+
+// ShareOf returns the percentage share of a category in the breakdown
+// (0 when absent).
+func ShareOf(breakdown []CategoryShare, cat failures.Category) float64 {
+	for _, s := range breakdown {
+		if s.Category == cat {
+			return s.Percent
+		}
+	}
+	return 0
+}
+
+// CauseShare is one bar of Figure 3: a software root locus' share of the
+// software failures.
+type CauseShare struct {
+	Cause   failures.SoftwareCause
+	Count   int
+	Percent float64
+}
+
+// SoftwareCauses breaks the Software-category failures down by root locus
+// (RQ1, Figure 3) and returns the top-k loci sorted by descending count.
+// k <= 0 returns all loci. The percentages are relative to the software
+// failures carrying a cause, matching the paper's "171 reported root
+// loci" denominator.
+func SoftwareCauses(log *failures.Log, k int) ([]CauseShare, error) {
+	counts := make(map[failures.SoftwareCause]int)
+	total := 0
+	for _, r := range log.Records() {
+		if r.SoftwareCause == "" {
+			continue
+		}
+		counts[r.SoftwareCause]++
+		total++
+	}
+	if total == 0 {
+		return nil, ErrEmptyLog
+	}
+	out := make([]CauseShare, 0, len(counts))
+	for cause, n := range counts {
+		out = append(out, CauseShare{Cause: cause, Count: n, Percent: 100 * float64(n) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/failures"
+)
+
+// DriftRow contrasts one failure category's share across two generations
+// (RQ1's "the dominant failure types are different on both systems").
+type DriftRow struct {
+	Category   failures.Category
+	OldPercent float64 // 0 when the category does not exist on the old system
+	NewPercent float64 // 0 when the category does not exist on the new system
+	// Delta is NewPercent - OldPercent.
+	Delta float64
+	// OldOnly/NewOnly mark taxonomy differences (Table II changed between
+	// generations).
+	OldOnly, NewOnly bool
+}
+
+// CategoryDrift aligns two category breakdowns and returns the share
+// movement per category, sorted by descending |Delta|.
+func CategoryDrift(old, new_ []CategoryShare) []DriftRow {
+	oldShares := make(map[failures.Category]float64, len(old))
+	for _, s := range old {
+		oldShares[s.Category] = s.Percent
+	}
+	newShares := make(map[failures.Category]float64, len(new_))
+	for _, s := range new_ {
+		newShares[s.Category] = s.Percent
+	}
+	seen := make(map[failures.Category]bool)
+	var rows []DriftRow
+	add := func(cat failures.Category) {
+		if seen[cat] {
+			return
+		}
+		seen[cat] = true
+		o, hasOld := oldShares[cat]
+		n, hasNew := newShares[cat]
+		rows = append(rows, DriftRow{
+			Category:   cat,
+			OldPercent: o,
+			NewPercent: n,
+			Delta:      n - o,
+			OldOnly:    hasOld && !hasNew,
+			NewOnly:    hasNew && !hasOld,
+		})
+	}
+	for _, s := range old {
+		add(s.Category)
+	}
+	for _, s := range new_ {
+		add(s.Category)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := abs(rows[i].Delta), abs(rows[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].Category < rows[j].Category
+	})
+	return rows
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

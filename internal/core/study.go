@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/failures"
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+// Study bundles every analysis of one system's failure log: running it on
+// the Tsubame-2 and Tsubame-3 logs regenerates all data behind the paper's
+// figures and tables for that system.
+type Study struct {
+	System   failures.System
+	Records  int
+	SpanDays float64
+
+	Breakdown      []CategoryShare         // Figure 2
+	SoftwareTop    []CauseShare            // Figure 3 (empty without root loci)
+	NodeCounts     []NodeCountBin          // Figure 4
+	MultiNodeSplit MultiNodeSplit          // RQ2 hardware/software split
+	SlotShares     []SlotShare             // Figure 5
+	Involvement    []InvolvementRow        // Table III
+	TBF            *TBFResult              // Figure 6
+	TBFPerType     []CategoryDurations     // Figure 7
+	MultiGPU       *MultiGPUTemporalResult // Figure 8
+	TTR            *TTRResult              // Figure 9
+	TTRPerType     []CategoryDurations     // Figure 10
+	Seasonal       []MonthBucket           // Figures 11 and 12
+	SeasonalTests  SeasonalCorrelation     // RQ5 correlation analysis
+	PEP            system.PerfErrorProportionality
+
+	// Extensions beyond the paper's figures (best-effort: nil when the
+	// log lacks the required attribution).
+	Spatial  *SpatialResult     // rack/node failure concentration
+	Survival *GPUSurvivalResult // per-card Kaplan-Meier survival
+}
+
+// Per-category thresholds and windows; the values match the paper's
+// figure construction.
+const (
+	// minPerTypeTBF is the minimum failures a category needs for its
+	// Figure 7 box.
+	minPerTypeTBF = 5
+	// minPerTypeTTR is the minimum failures a category needs for its
+	// Figure 10 box.
+	minPerTypeTTR = 2
+	// multiGPUWindowHours is the proximity window of the Figure 8
+	// clustering metric.
+	multiGPUWindowHours = 72
+)
+
+// NewStudy runs the full analysis battery on one log.
+func NewStudy(log *failures.Log) (*Study, error) {
+	if log.Len() < 2 {
+		return nil, ErrTooFewRecords
+	}
+	s := &Study{System: log.System(), Records: log.Len(), SpanDays: log.Span().Hours() / 24}
+
+	var err error
+	if s.Breakdown, err = CategoryBreakdown(log); err != nil {
+		return nil, fmt.Errorf("core: category breakdown: %w", err)
+	}
+	// Root loci are only recorded on systems that report them.
+	if top, err := SoftwareCauses(log, 16); err == nil {
+		s.SoftwareTop = top
+	}
+	if s.NodeCounts, err = NodeFailureCounts(log); err != nil {
+		return nil, fmt.Errorf("core: node failure counts: %w", err)
+	}
+	if s.MultiNodeSplit, err = MultiFailureNodeSplit(log); err != nil {
+		return nil, fmt.Errorf("core: multi-failure node split: %w", err)
+	}
+	if s.SlotShares, err = GPUSlotDistribution(log); err != nil {
+		return nil, fmt.Errorf("core: GPU slot distribution: %w", err)
+	}
+	if s.Involvement, err = MultiGPUInvolvement(log); err != nil {
+		return nil, fmt.Errorf("core: multi-GPU involvement: %w", err)
+	}
+	if s.TBF, err = TBFAnalysis(log); err != nil {
+		return nil, fmt.Errorf("core: TBF analysis: %w", err)
+	}
+	if s.TBFPerType, err = TBFByCategory(log, minPerTypeTBF); err != nil {
+		return nil, fmt.Errorf("core: per-type TBF: %w", err)
+	}
+	// A log can legitimately lack multi-GPU pairs; leave the field nil then.
+	if mg, err := MultiGPUTemporal(log, multiGPUWindowHours); err == nil {
+		s.MultiGPU = mg
+	}
+	if s.TTR, err = TTRAnalysis(log); err != nil {
+		return nil, fmt.Errorf("core: TTR analysis: %w", err)
+	}
+	if s.TTRPerType, err = TTRByCategory(log, minPerTypeTTR); err != nil {
+		return nil, fmt.Errorf("core: per-type TTR: %w", err)
+	}
+	if s.Seasonal, err = MonthlySeasonality(log); err != nil {
+		return nil, fmt.Errorf("core: monthly seasonality: %w", err)
+	}
+	if s.SeasonalTests, err = SeasonalAnalysis(log); err != nil {
+		return nil, fmt.Errorf("core: seasonal analysis: %w", err)
+	}
+	machine, err := system.ForSystem(log.System())
+	if err != nil {
+		return nil, err
+	}
+	if s.PEP, err = system.PerfErrorProp(machine, s.TBF.MTBFHours); err != nil {
+		return nil, fmt.Errorf("core: performance-error-proportionality: %w", err)
+	}
+	// Extensions are best-effort: externally supplied logs may use node
+	// identifiers outside the canonical topology or lack GPU attribution.
+	if spatial, err := SpatialAnalysis(log); err == nil {
+		s.Spatial = spatial
+	}
+	if survival, err := GPUSurvival(log); err == nil {
+		s.Survival = survival
+	}
+	return s, nil
+}
+
+// Comparison contrasts two generations the way the paper contrasts
+// Tsubame-2 and Tsubame-3.
+type Comparison struct {
+	Old, New *Study
+	// MTBFImprovement is new MTBF / old MTBF (the paper reports >4x).
+	MTBFImprovement float64
+	// MTTRRatio is new MTTR / old MTTR (the paper reports ~1: recovery
+	// time has not improved).
+	MTTRRatio float64
+	// GPUMTBFImprovement compares per-type GPU MTBF across generations on
+	// the card-incident basis (the paper reports ~10x).
+	GPUMTBFImprovement float64
+	// CPUMTBFImprovement compares per-type CPU MTBF (the paper reports
+	// ~3x).
+	CPUMTBFImprovement float64
+	// PEPRatio is the performance-error-proportionality gain (the paper's
+	// argument: 8x compute with 4x MTBF means useful work per
+	// failure-free period grew even faster than MTBF).
+	PEPRatio float64
+	// TTRShapeKS is the two-sample KS distance between the recovery-time
+	// distributions; small values support the paper's "the distribution
+	// shape remains roughly the same" claim.
+	TTRShapeKS float64
+}
+
+// Compare builds the cross-generation comparison from two logs.
+func Compare(oldLog, newLog *failures.Log) (*Comparison, error) {
+	oldStudy, err := NewStudy(oldLog)
+	if err != nil {
+		return nil, fmt.Errorf("core: old-generation study: %w", err)
+	}
+	newStudy, err := NewStudy(newLog)
+	if err != nil {
+		return nil, fmt.Errorf("core: new-generation study: %w", err)
+	}
+	c := &Comparison{
+		Old:             oldStudy,
+		New:             newStudy,
+		MTBFImprovement: newStudy.TBF.MTBFHours / oldStudy.TBF.MTBFHours,
+		MTTRRatio:       newStudy.TTR.MTTRHours / oldStudy.TTR.MTTRHours,
+		PEPRatio:        oldStudy.PEP.Ratio(newStudy.PEP),
+	}
+	if oldGPU, ok := GPUCardIncidentMTBF(oldLog); ok {
+		if newGPU, ok := GPUCardIncidentMTBF(newLog); ok {
+			c.GPUMTBFImprovement = newGPU / oldGPU
+		}
+	}
+	if oldCPU, ok := CategoryMTBF(oldLog, failures.CatCPU); ok {
+		if newCPU, ok := CategoryMTBF(newLog, failures.CatCPU); ok {
+			c.CPUMTBFImprovement = newCPU / oldCPU
+		}
+	}
+	ks, err := stats.KSTwoSample(oldLog.RecoveryHours(), newLog.RecoveryHours())
+	if err != nil {
+		return nil, fmt.Errorf("core: TTR shape comparison: %w", err)
+	}
+	c.TTRShapeKS = ks
+	return c, nil
+}

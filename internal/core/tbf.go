@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/failures"
+	"repro/internal/stats"
+)
+
+// TBFResult summarizes the system-wide time-between-failures distribution
+// (RQ4, Figure 6).
+type TBFResult struct {
+	// N is the number of inter-arrival gaps (records - 1).
+	N int
+	// MTBFHours is the mean gap.
+	MTBFHours float64
+	// P25, Median, P75 are gap quantiles in hours; the paper reads the
+	// 75th percentile off Figure 6 (20 h on Tsubame-2, 93 h on Tsubame-3).
+	P25, Median, P75 float64
+	// CDF is the empirical gap distribution for plotting.
+	CDF *stats.ECDF
+}
+
+// TBFAnalysis computes the time-between-failures distribution of the whole
+// log.
+func TBFAnalysis(log *failures.Log) (*TBFResult, error) {
+	gaps := log.InterarrivalHours()
+	if len(gaps) == 0 {
+		return nil, ErrTooFewRecords
+	}
+	cdf, err := stats.NewECDF(gaps)
+	if err != nil {
+		return nil, err
+	}
+	return &TBFResult{
+		N:         len(gaps),
+		MTBFHours: stats.Mean(gaps),
+		P25:       cdf.Quantile(0.25),
+		Median:    cdf.Quantile(0.50),
+		P75:       cdf.Quantile(0.75),
+		CDF:       cdf,
+	}, nil
+}
+
+// CategoryDurations pairs a failure category with a duration summary; it
+// is the row type of the per-category boxplot figures (Figures 7 and 10).
+type CategoryDurations struct {
+	Category failures.Category
+	Summary  stats.Summary
+}
+
+// TBFByCategory computes the distribution of time between two failures of
+// the same category, for every category with at least minCount failures
+// (the paper's Figure 7 omits sparsely populated categories). Rows are
+// sorted by ascending mean, matching the figure's ordering.
+func TBFByCategory(log *failures.Log, minCount int) ([]CategoryDurations, error) {
+	if log.Len() == 0 {
+		return nil, ErrEmptyLog
+	}
+	if minCount < 2 {
+		minCount = 2
+	}
+	var out []CategoryDurations
+	for cat, n := range log.ByCategory() {
+		if n < minCount {
+			continue
+		}
+		cat := cat
+		sub := log.Filter(func(f failures.Failure) bool { return f.Category == cat })
+		gaps := sub.InterarrivalHours()
+		if len(gaps) == 0 {
+			continue
+		}
+		sum, err := stats.Summarize(gaps)
+		if err != nil {
+			continue
+		}
+		out = append(out, CategoryDurations{Category: cat, Summary: sum})
+	}
+	if len(out) == 0 {
+		return nil, ErrTooFewRecords
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Summary.Mean != out[j].Summary.Mean {
+			return out[i].Summary.Mean < out[j].Summary.Mean
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out, nil
+}
+
+// CategoryMTBF returns the mean time between failures of one category in
+// hours, measured over the category's sub-log.
+func CategoryMTBF(log *failures.Log, cat failures.Category) (float64, bool) {
+	sub := log.Filter(func(f failures.Failure) bool { return f.Category == cat })
+	return sub.MTBFHours()
+}
+
+// GPUCardIncidentMTBF returns the mean time between GPU card incidents:
+// each failure contributes one incident per involved card, the counting
+// basis that best reconciles the paper's per-type GPU MTBF numbers with
+// its Table III involvement counts.
+func GPUCardIncidentMTBF(log *failures.Log) (float64, bool) {
+	var incidents int
+	sub := log.GPUFailures()
+	for _, r := range sub.Records() {
+		n := len(r.GPUs)
+		if n == 0 {
+			n = 1
+		}
+		incidents += n
+	}
+	if incidents < 2 {
+		return 0, false
+	}
+	start, end, ok := sub.Window()
+	if !ok {
+		return 0, false
+	}
+	return end.Sub(start).Hours() / float64(incidents-1), true
+}

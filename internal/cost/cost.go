@@ -1,0 +1,112 @@
+// Package cost implements the operational-cost tradeoff the paper's RQ5
+// summary frames: "One can significantly reduce the MTTR by overly
+// proactive measures such as keeping an excessive number of spare
+// components on-site ... but this comes at an increased operational
+// cost. Maintaining balance is the key." It sweeps spare-stock levels
+// through the failure/repair simulator and prices the outcomes, exposing
+// the cost-optimal stocking point.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/spares"
+)
+
+// Prices converts simulation outcomes to money. Units are arbitrary but
+// consistent (think dollars).
+type Prices struct {
+	// DowntimePerNodeHour prices one node-hour of lost capacity.
+	DowntimePerNodeHour float64
+	// HoldingPerPartYear prices keeping one spare part on the shelf for a
+	// year (capital, space, obsolescence).
+	HoldingPerPartYear float64
+}
+
+func (p Prices) validate() error {
+	if !(p.DowntimePerNodeHour > 0) || !(p.HoldingPerPartYear > 0) {
+		return fmt.Errorf("cost: prices must be positive, got %+v", p)
+	}
+	return nil
+}
+
+// SweepConfig parameterizes a stock-level sweep.
+type SweepConfig struct {
+	// Nodes, GPUsPerNode, Processes, Crews, HorizonHours, Seed configure
+	// the underlying simulation (see sim.Config).
+	Nodes        int
+	GPUsPerNode  int
+	Processes    []sim.FailureProcess
+	Crews        int
+	HorizonHours float64
+	Seed         int64
+	// LeadTimeHours is the spare delivery latency of the S-1 policy.
+	LeadTimeHours float64
+	// Stocks are the per-category stock levels to evaluate.
+	Stocks []int
+	Prices Prices
+}
+
+// Point is one evaluated stock level.
+type Point struct {
+	Stock        int
+	Availability float64
+	// DowntimeCost prices the lost node-hours; HoldingCost prices the
+	// shelf inventory over the horizon; Total is their sum.
+	DowntimeCost float64
+	HoldingCost  float64
+	Total        float64
+}
+
+// Sweep evaluates every stock level and returns the points in input order
+// plus the index of the cheapest one.
+func Sweep(cfg SweepConfig) (points []Point, optimal int, err error) {
+	if err := cfg.Prices.validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(cfg.Stocks) == 0 {
+		return nil, 0, fmt.Errorf("cost: empty stock sweep")
+	}
+	if !(cfg.LeadTimeHours > 0) {
+		return nil, 0, fmt.Errorf("cost: lead time must be positive, got %v", cfg.LeadTimeHours)
+	}
+	points = make([]Point, 0, len(cfg.Stocks))
+	years := cfg.HorizonHours / 8760
+	for _, stock := range cfg.Stocks {
+		if stock < 0 {
+			return nil, 0, fmt.Errorf("cost: negative stock level %d", stock)
+		}
+		parts, err := spares.NewFixedStock(stock, cfg.LeadTimeHours)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := sim.Run(sim.Config{
+			Nodes:        cfg.Nodes,
+			GPUsPerNode:  cfg.GPUsPerNode,
+			HorizonHours: cfg.HorizonHours,
+			Processes:    cfg.Processes,
+			Crews:        cfg.Crews,
+			Parts:        parts,
+			Seed:         cfg.Seed,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		pt := Point{
+			Stock:        stock,
+			Availability: res.Availability,
+			DowntimeCost: res.NodeHoursLost * cfg.Prices.DowntimePerNodeHour,
+			HoldingCost:  float64(stock*len(cfg.Processes)) * cfg.Prices.HoldingPerPartYear * years,
+		}
+		pt.Total = pt.DowntimeCost + pt.HoldingCost
+		points = append(points, pt)
+	}
+	optimal = 0
+	for i, pt := range points {
+		if pt.Total < points[optimal].Total {
+			optimal = i
+		}
+	}
+	return points, optimal, nil
+}

@@ -1,0 +1,122 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/failures"
+	"repro/internal/sim"
+)
+
+// slowPartsProcesses builds a single failure stream where parts waits
+// dominate downtime, so stock level matters.
+func slowPartsProcesses(t *testing.T) []sim.FailureProcess {
+	t.Helper()
+	inter, err := dist.NewExponential(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repair, err := dist.NewExponential(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []sim.FailureProcess{
+		{Category: failures.CatGPU, Interarrival: inter, Repair: repair},
+	}
+}
+
+func baseSweep(t *testing.T) SweepConfig {
+	t.Helper()
+	return SweepConfig{
+		Nodes:         200,
+		Processes:     slowPartsProcesses(t),
+		Crews:         0,
+		HorizonHours:  8760,
+		Seed:          42,
+		LeadTimeHours: 120,
+		Stocks:        []int{0, 1, 2, 4, 8, 32},
+		Prices:        Prices{DowntimePerNodeHour: 100, HoldingPerPartYear: 2000},
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	cfg := baseSweep(t)
+	cfg.Prices.DowntimePerNodeHour = 0
+	if _, _, err := Sweep(cfg); err == nil {
+		t.Error("zero downtime price should fail")
+	}
+	cfg = baseSweep(t)
+	cfg.Stocks = nil
+	if _, _, err := Sweep(cfg); err == nil {
+		t.Error("empty sweep should fail")
+	}
+	cfg = baseSweep(t)
+	cfg.Stocks = []int{-1}
+	if _, _, err := Sweep(cfg); err == nil {
+		t.Error("negative stock should fail")
+	}
+	cfg = baseSweep(t)
+	cfg.LeadTimeHours = 0
+	if _, _, err := Sweep(cfg); err == nil {
+		t.Error("zero lead time should fail")
+	}
+}
+
+func TestSweepTradeoffShape(t *testing.T) {
+	points, optimal, err := Sweep(baseSweep(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Downtime cost decreases (weakly) with stock; holding cost increases
+	// strictly.
+	for i := 1; i < len(points); i++ {
+		if points[i].DowntimeCost > points[i-1].DowntimeCost+1e-6 {
+			t.Errorf("downtime cost rose from stock %d to %d: %v -> %v",
+				points[i-1].Stock, points[i].Stock, points[i-1].DowntimeCost, points[i].DowntimeCost)
+		}
+		if points[i].HoldingCost <= points[i-1].HoldingCost {
+			t.Errorf("holding cost did not rise from stock %d to %d",
+				points[i-1].Stock, points[i].Stock)
+		}
+	}
+	// The optimum is interior: zero stock pays stock-out downtime, huge
+	// stock pays holding.
+	if optimal == 0 {
+		t.Error("zero stock should not be optimal when stock-outs are priced")
+	}
+	if points[optimal].Stock == 32 {
+		t.Error("maximal stock should not be optimal when holding is priced")
+	}
+	// Availability improves (weakly) with stock.
+	if points[len(points)-1].Availability < points[0].Availability {
+		t.Error("availability should not degrade with more stock")
+	}
+	// Totals are consistent.
+	for _, pt := range points {
+		if pt.Total != pt.DowntimeCost+pt.HoldingCost {
+			t.Errorf("total %v != %v + %v", pt.Total, pt.DowntimeCost, pt.HoldingCost)
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a, optA, err := Sweep(baseSweep(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, optB, err := Sweep(baseSweep(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optA != optB {
+		t.Errorf("optima differ: %d vs %d", optA, optB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs between identical sweeps", i)
+		}
+	}
+}

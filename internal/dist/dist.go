@@ -1,0 +1,88 @@
+// Package dist provides the probability-distribution substrate for the
+// reproduction: seeded random-variate generation, the parametric families
+// used to model time-between-failures and time-to-recovery (exponential,
+// Weibull, log-normal, gamma), empirical and mixture distributions, and
+// maximum-likelihood fitting with Kolmogorov-Smirnov model selection.
+//
+// Everything is deterministic given a seed: library code never consults
+// wall-clock time or global randomness.
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Distribution is a univariate continuous probability distribution over the
+// non-negative reals (durations in hours throughout this repository).
+type Distribution interface {
+	// Sample draws one variate using rng.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution mean (NaN if undefined).
+	Mean() float64
+	// Var returns the distribution variance (NaN if undefined).
+	Var() float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile; NaN for p outside [0, 1].
+	Quantile(p float64) float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// NewRNG returns a deterministic random source for the given seed.
+// Substreams for independent processes should be created with Fork so that
+// adding one sampling site does not perturb every other stream.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(splitMix64(seed)))
+}
+
+// Fork derives an independent deterministic stream from a parent seed and a
+// stream label. Identical (seed, label) pairs always produce identical
+// streams.
+func Fork(seed int64, label string) *rand.Rand {
+	h := uint64(seed)
+	for _, b := range []byte(label) {
+		h ^= uint64(b)
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return rand.New(rand.NewSource(splitMix64(int64(h))))
+}
+
+// splitMix64 scrambles a seed so that adjacent integer seeds yield
+// uncorrelated streams.
+func splitMix64(seed int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}
+
+// quantileBisect inverts a CDF numerically on [lo, hi] by bisection. It is
+// used by families without a closed-form quantile (gamma, mixtures).
+func quantileBisect(cdf func(float64) float64, p, lo, hi float64) float64 {
+	if p <= 0 {
+		return lo
+	}
+	if p >= 1 {
+		return hi
+	}
+	// Expand hi until the CDF brackets p (defensive; callers pass a
+	// generous upper bound already).
+	for cdf(hi) < p && hi < math.MaxFloat64/4 {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestNewRNGAdjacentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds shared %d of 100 draws", same)
+	}
+}
+
+func TestForkIndependentStreams(t *testing.T) {
+	a1 := Fork(42, "times")
+	a2 := Fork(42, "times")
+	b := Fork(42, "categories")
+	var matchedSelf, matchedOther int
+	for i := 0; i < 100; i++ {
+		x := a1.Float64()
+		if x == a2.Float64() {
+			matchedSelf++
+		}
+		if x == b.Float64() {
+			matchedOther++
+		}
+	}
+	if matchedSelf != 100 {
+		t.Errorf("identical fork labels matched only %d/100 draws", matchedSelf)
+	}
+	if matchedOther > 0 {
+		t.Errorf("different fork labels matched %d/100 draws", matchedOther)
+	}
+}
+
+// sampleMoments draws n variates and returns their mean and variance.
+func sampleMoments(d Distribution, n int, seed int64) (mean, variance float64) {
+	rng := NewRNG(seed)
+	xs := make([]float64, n)
+	var sum float64
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+		sum += xs[i]
+	}
+	mean = sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		dd := x - mean
+		ss += dd * dd
+	}
+	return mean, ss / float64(n-1)
+}
+
+// checkDistribution verifies the universal Distribution contract: sampling
+// moments match the analytic ones, the CDF is monotone with Quantile as
+// its inverse, and samples are non-negative.
+func checkDistribution(t *testing.T, d Distribution) {
+	t.Helper()
+	const n = 60000
+	mean, variance := sampleMoments(d, n, 12345)
+	wantMean, wantVar := d.Mean(), d.Var()
+	meanTol := 4 * math.Sqrt(wantVar/n) * 2 // generous 8-sigma-ish band
+	if !almostEqual(mean, wantMean, math.Max(meanTol, 0.02*wantMean)) {
+		t.Errorf("%v: sample mean %v, want %v", d, mean, wantMean)
+	}
+	if wantVar > 0 && math.Abs(variance-wantVar) > 0.15*wantVar {
+		t.Errorf("%v: sample variance %v, want %v", d, variance, wantVar)
+	}
+	// CDF monotonicity and quantile inversion.
+	prev := -1.0
+	for p := 0.01; p < 1; p += 0.07 {
+		q := d.Quantile(p)
+		if q < prev {
+			t.Errorf("%v: quantile not monotone at p=%v", d, p)
+		}
+		prev = q
+		if got := d.CDF(q); math.Abs(got-p) > 1e-6 {
+			t.Errorf("%v: CDF(Quantile(%v)) = %v", d, p, got)
+		}
+	}
+	if d.CDF(-1) != 0 {
+		t.Errorf("%v: CDF(-1) = %v, want 0", d, d.CDF(-1))
+	}
+	rng := NewRNG(999)
+	for i := 0; i < 1000; i++ {
+		if x := d.Sample(rng); x < 0 {
+			t.Fatalf("%v: negative sample %v", d, x)
+		}
+	}
+	if !math.IsNaN(d.Quantile(-0.1)) || !math.IsNaN(d.Quantile(1.1)) {
+		t.Errorf("%v: quantile outside [0,1] should be NaN", d)
+	}
+}

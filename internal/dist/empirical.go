@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Empirical resamples a fixed set of observations (with linear
+// interpolation between order statistics when Smooth is set). It lets the
+// simulator replay repair-time behaviour taken directly from an analyzed
+// log instead of a parametric fit.
+type Empirical struct {
+	sorted []float64
+	smooth bool
+}
+
+// NewEmpirical builds an empirical distribution from xs (copied).
+// smooth=true interpolates between order statistics on sampling, producing
+// a continuous variate; smooth=false resamples the observations exactly.
+func NewEmpirical(xs []float64, smooth bool) (*Empirical, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("dist: empirical distribution needs at least one observation")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &Empirical{sorted: sorted, smooth: smooth}, nil
+}
+
+// Sample draws a variate.
+func (e *Empirical) Sample(rng *rand.Rand) float64 {
+	if !e.smooth {
+		return e.sorted[rng.Intn(len(e.sorted))]
+	}
+	return e.Quantile(rng.Float64())
+}
+
+// Mean returns the sample mean.
+func (e *Empirical) Mean() float64 {
+	var sum float64
+	for _, x := range e.sorted {
+		sum += x
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// Var returns the population variance of the observations.
+func (e *Empirical) Var() float64 {
+	m := e.Mean()
+	var ss float64
+	for _, x := range e.sorted {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(e.sorted))
+}
+
+// CDF returns the empirical CDF at x.
+func (e *Empirical) CDF(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the type-7 interpolated quantile.
+func (e *Empirical) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	n := len(e.sorted)
+	if n == 1 {
+		return e.sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	if lo >= n-1 {
+		return e.sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return e.sorted[lo]*(1-frac) + e.sorted[lo+1]*frac
+}
+
+// N returns the number of underlying observations.
+func (e *Empirical) N() int { return len(e.sorted) }
+
+// String implements fmt.Stringer.
+func (e *Empirical) String() string {
+	return fmt.Sprintf("Empirical(n=%d, mean=%.4g)", len(e.sorted), e.Mean())
+}

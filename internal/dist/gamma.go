@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gamma is the gamma distribution with shape Alpha and scale Theta
+// (mean Alpha*Theta). It models repair-time components that are sums of
+// stage durations (diagnose + procure + replace).
+type Gamma struct {
+	Alpha float64 // shape
+	Theta float64 // scale
+}
+
+// NewGamma returns a gamma distribution with the given shape and scale.
+// Both must be positive.
+func NewGamma(shape, scale float64) (Gamma, error) {
+	if !(shape > 0) || !(scale > 0) {
+		return Gamma{}, fmt.Errorf("dist: gamma shape and scale must be positive, got alpha=%v theta=%v", shape, scale)
+	}
+	return Gamma{Alpha: shape, Theta: scale}, nil
+}
+
+// Sample draws a variate using the Marsaglia-Tsang squeeze method, with
+// the standard boost for shape < 1.
+func (g Gamma) Sample(rng *rand.Rand) float64 {
+	alpha := g.Alpha
+	boost := 1.0
+	if alpha < 1 {
+		// X_alpha = X_{alpha+1} * U^{1/alpha}
+		boost = math.Pow(1-rng.Float64(), 1/alpha)
+		alpha++
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return g.Theta * boost * d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return g.Theta * boost * d * v
+		}
+	}
+}
+
+// Mean returns alpha*theta.
+func (g Gamma) Mean() float64 { return g.Alpha * g.Theta }
+
+// Var returns alpha*theta^2.
+func (g Gamma) Var() float64 { return g.Alpha * g.Theta * g.Theta }
+
+// CDF returns the regularized lower incomplete gamma P(alpha, x/theta).
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regularizedGammaP(g.Alpha, x/g.Theta)
+}
+
+// Quantile inverts the CDF by bisection.
+func (g Gamma) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	// Mean + 20 standard deviations generously brackets any quantile the
+	// analyses request.
+	hi := g.Mean() + 20*math.Sqrt(g.Var())
+	return quantileBisect(g.CDF, p, 0, hi)
+}
+
+// String implements fmt.Stringer.
+func (g Gamma) String() string {
+	return fmt.Sprintf("Gamma(alpha=%.4g, theta=%.4g)", g.Alpha, g.Theta)
+}
+
+// regularizedGammaP mirrors stats.RegularizedGammaP; it is duplicated here
+// (30 lines) to keep dist free of a dependency on the higher-level stats
+// package.
+func regularizedGammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x == 0:
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-14 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return 1 - math.Exp(-x+a*math.Log(x)-lg)*h
+}

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Mixture is a finite mixture of component distributions. The repair-time
+// model uses a two-component mixture (quick reboot-style repairs plus a
+// heavy hardware-replacement tail), matching the paper's observation that
+// "some failures may simply require rebooting and certain other failures
+// require replacing the hardware".
+type Mixture struct {
+	components []Distribution
+	weights    []float64 // normalized
+	cum        []float64 // cumulative weights for sampling
+}
+
+// NewMixture builds a mixture of the given components with the given
+// non-negative weights (normalized internally). Component and weight
+// counts must match and at least one weight must be positive.
+func NewMixture(components []Distribution, weights []float64) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("dist: mixture needs at least one component")
+	}
+	if len(components) != len(weights) {
+		return nil, fmt.Errorf("dist: mixture has %d components but %d weights", len(components), len(weights))
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("dist: mixture weight %d is invalid (%v)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("dist: mixture weights sum to zero")
+	}
+	m := &Mixture{
+		components: append([]Distribution(nil), components...),
+		weights:    make([]float64, len(weights)),
+		cum:        make([]float64, len(weights)),
+	}
+	var running float64
+	for i, w := range weights {
+		m.weights[i] = w / total
+		running += w / total
+		m.cum[i] = running
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against accumulated rounding
+	return m, nil
+}
+
+// Sample picks a component by weight and samples it.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.components[i].Sample(rng)
+		}
+	}
+	return m.components[len(m.components)-1].Sample(rng)
+}
+
+// Mean returns the weighted mean of component means.
+func (m *Mixture) Mean() float64 {
+	var mean float64
+	for i, c := range m.components {
+		mean += m.weights[i] * c.Mean()
+	}
+	return mean
+}
+
+// Var returns the mixture variance via the law of total variance.
+func (m *Mixture) Var() float64 {
+	mean := m.Mean()
+	var v float64
+	for i, c := range m.components {
+		d := c.Mean() - mean
+		v += m.weights[i] * (c.Var() + d*d)
+	}
+	return v
+}
+
+// CDF returns the weighted component CDF.
+func (m *Mixture) CDF(x float64) float64 {
+	var f float64
+	for i, c := range m.components {
+		f += m.weights[i] * c.CDF(x)
+	}
+	return f
+}
+
+// Quantile inverts the mixture CDF by bisection.
+func (m *Mixture) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	hi := m.Mean() + 20*math.Sqrt(m.Var())
+	if math.IsNaN(hi) || hi <= 0 {
+		hi = 1
+	}
+	return quantileBisect(m.CDF, p, 0, hi)
+}
+
+// String implements fmt.Stringer.
+func (m *Mixture) String() string {
+	parts := make([]string, len(m.components))
+	for i, c := range m.components {
+		parts[i] = fmt.Sprintf("%.3g*%s", m.weights[i], c)
+	}
+	return "Mixture(" + strings.Join(parts, " + ") + ")"
+}

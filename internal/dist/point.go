@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is the degenerate distribution concentrated at Value. It exists
+// for failure-injection testing: driving the simulator with exact,
+// hand-checkable schedules.
+type Point struct {
+	Value float64
+}
+
+// NewPoint returns a point mass at v (v must be non-negative: durations).
+func NewPoint(v float64) (Point, error) {
+	if v < 0 || math.IsNaN(v) {
+		return Point{}, fmt.Errorf("dist: point mass must be non-negative, got %v", v)
+	}
+	return Point{Value: v}, nil
+}
+
+// Sample always returns the value.
+func (p Point) Sample(*rand.Rand) float64 { return p.Value }
+
+// Mean returns the value.
+func (p Point) Mean() float64 { return p.Value }
+
+// Var returns 0.
+func (p Point) Var() float64 { return 0 }
+
+// CDF is the unit step at the value.
+func (p Point) CDF(x float64) float64 {
+	if x < p.Value {
+		return 0
+	}
+	return 1
+}
+
+// Quantile returns the value for every p in [0, 1].
+func (p Point) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	return p.Value
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("Point(%.4g)", p.Value) }

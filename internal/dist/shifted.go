@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Shifted translates a base distribution right by Offset, modelling a
+// minimum duration (a repair can never take less than the travel/triage
+// floor; an inter-failure gap is never exactly zero in the logs).
+type Shifted struct {
+	Base   Distribution
+	Offset float64
+}
+
+// NewShifted wraps base with a non-negative offset.
+func NewShifted(base Distribution, offset float64) (Shifted, error) {
+	if base == nil {
+		return Shifted{}, fmt.Errorf("dist: shifted needs a base distribution")
+	}
+	if offset < 0 || math.IsNaN(offset) {
+		return Shifted{}, fmt.Errorf("dist: shift offset must be non-negative, got %v", offset)
+	}
+	return Shifted{Base: base, Offset: offset}, nil
+}
+
+// Sample draws base + offset.
+func (s Shifted) Sample(rng *rand.Rand) float64 { return s.Base.Sample(rng) + s.Offset }
+
+// Mean returns base mean + offset.
+func (s Shifted) Mean() float64 { return s.Base.Mean() + s.Offset }
+
+// Var returns the base variance (translation invariant).
+func (s Shifted) Var() float64 { return s.Base.Var() }
+
+// CDF returns base CDF at x-offset.
+func (s Shifted) CDF(x float64) float64 { return s.Base.CDF(x - s.Offset) }
+
+// Quantile returns base quantile + offset.
+func (s Shifted) Quantile(p float64) float64 { return s.Base.Quantile(p) + s.Offset }
+
+// String implements fmt.Stringer.
+func (s Shifted) String() string {
+	return fmt.Sprintf("Shifted(%s, +%.4g)", s.Base, s.Offset)
+}
+
+// Truncated clips a base distribution to [0, Hi] by resampling (rejection).
+// The TTR samplers use it to keep synthetic repairs inside the documented
+// maxima (for example ~290 h for Tsubame-2 SSD repairs).
+type Truncated struct {
+	Base Distribution
+	Hi   float64
+}
+
+// NewTruncated wraps base, clipping to hi. hi must be positive and must
+// retain at least 1% of the base mass so rejection sampling terminates
+// quickly.
+func NewTruncated(base Distribution, hi float64) (Truncated, error) {
+	if base == nil {
+		return Truncated{}, fmt.Errorf("dist: truncated needs a base distribution")
+	}
+	if !(hi > 0) {
+		return Truncated{}, fmt.Errorf("dist: truncation bound must be positive, got %v", hi)
+	}
+	if base.CDF(hi) < 0.01 {
+		return Truncated{}, fmt.Errorf("dist: truncation at %v keeps only %.2g%% of %v", hi, 100*base.CDF(hi), base)
+	}
+	return Truncated{Base: base, Hi: hi}, nil
+}
+
+// Sample rejection-samples the base until a variate lands in [0, Hi].
+func (t Truncated) Sample(rng *rand.Rand) float64 {
+	for {
+		x := t.Base.Sample(rng)
+		if x <= t.Hi {
+			return x
+		}
+	}
+}
+
+// Mean estimates the truncated mean by numerical integration of the
+// quantile function over the retained mass.
+func (t Truncated) Mean() float64 {
+	mass := t.Base.CDF(t.Hi)
+	const steps = 2000
+	var sum float64
+	for i := 0; i < steps; i++ {
+		p := mass * (float64(i) + 0.5) / steps
+		sum += t.Base.Quantile(p)
+	}
+	return sum / steps
+}
+
+// Var estimates the truncated variance numerically.
+func (t Truncated) Var() float64 {
+	mass := t.Base.CDF(t.Hi)
+	mean := t.Mean()
+	const steps = 2000
+	var sum float64
+	for i := 0; i < steps; i++ {
+		p := mass * (float64(i) + 0.5) / steps
+		d := t.Base.Quantile(p) - mean
+		sum += d * d
+	}
+	return sum / steps
+}
+
+// CDF renormalizes the base CDF over [0, Hi].
+func (t Truncated) CDF(x float64) float64 {
+	if x >= t.Hi {
+		return 1
+	}
+	return t.Base.CDF(x) / t.Base.CDF(t.Hi)
+}
+
+// Quantile inverts the renormalized CDF.
+func (t Truncated) Quantile(p float64) float64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	return t.Base.Quantile(p * t.Base.CDF(t.Hi))
+}
+
+// String implements fmt.Stringer.
+func (t Truncated) String() string {
+	return fmt.Sprintf("Truncated(%s, hi=%.4g)", t.Base, t.Hi)
+}

@@ -1,0 +1,189 @@
+package failures
+
+import "fmt"
+
+// Category is a reported failure category. The taxonomy differs between
+// the two systems (Table II of the paper); ValidFor checks membership.
+type Category string
+
+// Tsubame-2 failure categories (Table II, left column).
+const (
+	CatBoot        Category = "Boot"
+	CatCPU         Category = "CPU"
+	CatDisk        Category = "Disk"
+	CatDown        Category = "Down"
+	CatFan         Category = "FAN"
+	CatGPU         Category = "GPU"
+	CatIB          Category = "IB"
+	CatMemory      Category = "Memory"
+	CatNetwork     Category = "Network"
+	CatOtherHW     Category = "OtherHW"
+	CatOtherSW     Category = "OtherSW"
+	CatPBS         Category = "PBS"
+	CatPSU         Category = "PSU"
+	CatRack        Category = "Rack"
+	CatSSD         Category = "SSD"
+	CatSystemBoard Category = "SystemBoard"
+	CatVM          Category = "VM"
+)
+
+// Tsubame-3 failure categories (Table II, right column). CPU, Disk, GPU,
+// and Memory are shared with Tsubame-2.
+const (
+	CatCRC           Category = "CRC"
+	CatGPUDriver     Category = "GPUDriver"
+	CatIPMotherboard Category = "IPMotherboard"
+	CatLedFrontPanel Category = "LedFrontPanel"
+	CatLustre        Category = "Lustre"
+	CatOmniPath      Category = "OmniPath"
+	CatPowerBoard    Category = "PowerBoard"
+	CatRibbonCable   Category = "RibbonCable"
+	CatSoftware      Category = "Software"
+	CatSXM2Cable     Category = "SXM2Cable"
+	CatSXM2Board     Category = "SXM2Board"
+	CatUnknown       Category = "Unknown"
+)
+
+// tsubame2Categories is the Table II taxonomy for Tsubame-2, in the
+// paper's order.
+var tsubame2Categories = []Category{
+	CatBoot, CatCPU, CatDisk, CatDown, CatFan, CatGPU, CatIB, CatMemory,
+	CatNetwork, CatOtherHW, CatOtherSW, CatPBS, CatPSU, CatRack, CatSSD,
+	CatSystemBoard, CatVM,
+}
+
+// tsubame3Categories is the Table II taxonomy for Tsubame-3, in the
+// paper's order.
+var tsubame3Categories = []Category{
+	CatCPU, CatCRC, CatDisk, CatGPU, CatGPUDriver, CatIPMotherboard,
+	CatLedFrontPanel, CatLustre, CatMemory, CatOmniPath, CatPowerBoard,
+	CatRibbonCable, CatSoftware, CatSXM2Cable, CatSXM2Board, CatUnknown,
+}
+
+// softwareCategories flags the categories the paper treats as software
+// failures; everything else in the taxonomies is hardware or
+// infrastructure.
+var softwareCategories = map[Category]bool{
+	CatOtherSW:   true,
+	CatPBS:       true,
+	CatVM:        true,
+	CatBoot:      true,
+	CatGPUDriver: true,
+	CatLustre:    true,
+	CatSoftware:  true,
+	CatUnknown:   true,
+}
+
+// gpuCategories flags the categories that involve GPU cards and therefore
+// carry GPU slot information (Figure 5, Table III).
+var gpuCategories = map[Category]bool{
+	CatGPU:       true,
+	CatGPUDriver: true,
+	CatSXM2Cable: true,
+	CatSXM2Board: true,
+}
+
+// Categories returns the Table II taxonomy of the system, in the paper's
+// order. The returned slice is a copy.
+func Categories(s System) []Category {
+	switch s {
+	case Tsubame2:
+		return append([]Category(nil), tsubame2Categories...)
+	case Tsubame3:
+		return append([]Category(nil), tsubame3Categories...)
+	default:
+		return nil
+	}
+}
+
+// ValidFor reports whether the category belongs to the system's taxonomy.
+func (c Category) ValidFor(s System) bool {
+	for _, cat := range taxonomy(s) {
+		if cat == c {
+			return true
+		}
+	}
+	return false
+}
+
+func taxonomy(s System) []Category {
+	switch s {
+	case Tsubame2:
+		return tsubame2Categories
+	case Tsubame3:
+		return tsubame3Categories
+	default:
+		return nil
+	}
+}
+
+// Software reports whether the category is a software category.
+func (c Category) Software() bool { return softwareCategories[c] }
+
+// Hardware reports whether the category is a hardware category.
+func (c Category) Hardware() bool { return !softwareCategories[c] }
+
+// GPURelated reports whether failures of this category involve GPU cards.
+func (c Category) GPURelated() bool { return gpuCategories[c] }
+
+// ParseCategory validates name against the system taxonomy.
+func ParseCategory(s System, name string) (Category, error) {
+	c := Category(name)
+	if !c.ValidFor(s) {
+		return "", fmt.Errorf("failures: category %q is not in the %v taxonomy", name, s)
+	}
+	return c, nil
+}
+
+// SoftwareCause is the root locus of a software failure, the unit of
+// Figure 3's breakdown. The paper reports 171 software failures on
+// Tsubame-3 with GPU-driver-related problems at ~43% and ~20% unknown.
+type SoftwareCause string
+
+// Software root loci (Figure 3's top-16 plus the catch-all). The dominant
+// loci (GPU driver, unknown, OmniPath driver, GPU Direct, Lustre client,
+// kernel panic) are named in the paper's text; the remainder are plausible
+// loci chosen to fill the published top-16 histogram shape.
+const (
+	CauseGPUDriver       SoftwareCause = "GPUDriverProblem"
+	CauseUnknown         SoftwareCause = "UnknownCause"
+	CauseOmniPathDriver  SoftwareCause = "OmniPathDriver"
+	CauseGPUDirect       SoftwareCause = "GPUDirect"
+	CauseCUDAMismatch    SoftwareCause = "CUDAVersionMismatch"
+	CauseLustreClient    SoftwareCause = "LustreClient"
+	CauseKernelPanic     SoftwareCause = "KernelPanic"
+	CauseMPIRuntime      SoftwareCause = "MPIRuntime"
+	CauseScheduler       SoftwareCause = "SchedulerDaemon"
+	CauseFilesystemMount SoftwareCause = "FilesystemMount"
+	CauseNFS             SoftwareCause = "NFS"
+	CauseOSUpdate        SoftwareCause = "OSUpdate"
+	CauseFirmware        SoftwareCause = "FirmwareMismatch"
+	CauseContainer       SoftwareCause = "ContainerRuntime"
+	CauseSecurityPatch   SoftwareCause = "SecurityPatch"
+	CauseAuthentication  SoftwareCause = "Authentication"
+)
+
+// softwareCauses lists every known root locus, most frequent first (the
+// Figure 3 ordering).
+var softwareCauses = []SoftwareCause{
+	CauseGPUDriver, CauseUnknown, CauseOmniPathDriver, CauseGPUDirect,
+	CauseCUDAMismatch, CauseLustreClient, CauseKernelPanic, CauseMPIRuntime,
+	CauseScheduler, CauseFilesystemMount, CauseNFS, CauseOSUpdate,
+	CauseFirmware, CauseContainer, CauseSecurityPatch, CauseAuthentication,
+}
+
+// SoftwareCauses returns the known root loci in Figure 3 order. The
+// returned slice is a copy.
+func SoftwareCauses() []SoftwareCause {
+	return append([]SoftwareCause(nil), softwareCauses...)
+}
+
+// Valid reports whether the cause is a known root locus.
+func (c SoftwareCause) Valid() bool {
+	for _, cause := range softwareCauses {
+		if cause == c {
+			return true
+		}
+	}
+	return false
+}

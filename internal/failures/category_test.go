@@ -1,0 +1,112 @@
+package failures
+
+import "testing"
+
+func TestCategoriesMatchTableII(t *testing.T) {
+	t2 := Categories(Tsubame2)
+	if len(t2) != 17 {
+		t.Errorf("Tsubame-2 taxonomy has %d categories, Table II lists 17", len(t2))
+	}
+	t3 := Categories(Tsubame3)
+	if len(t3) != 16 {
+		t.Errorf("Tsubame-3 taxonomy has %d categories, Table II lists 16", len(t3))
+	}
+	if Categories(System(0)) != nil {
+		t.Error("unknown system should have nil taxonomy")
+	}
+}
+
+func TestCategoriesReturnsCopy(t *testing.T) {
+	a := Categories(Tsubame2)
+	a[0] = "Tampered"
+	b := Categories(Tsubame2)
+	if b[0] == "Tampered" {
+		t.Error("Categories aliases internal state")
+	}
+}
+
+func TestCategoryValidFor(t *testing.T) {
+	tests := []struct {
+		cat    Category
+		system System
+		want   bool
+	}{
+		{CatGPU, Tsubame2, true},
+		{CatGPU, Tsubame3, true},
+		{CatFan, Tsubame2, true},
+		{CatFan, Tsubame3, false},
+		{CatOmniPath, Tsubame3, true},
+		{CatOmniPath, Tsubame2, false},
+		{CatSXM2Board, Tsubame3, true},
+		{"Nonsense", Tsubame2, false},
+	}
+	for _, tt := range tests {
+		if got := tt.cat.ValidFor(tt.system); got != tt.want {
+			t.Errorf("%q.ValidFor(%v) = %v, want %v", tt.cat, tt.system, got, tt.want)
+		}
+	}
+}
+
+func TestSoftwareHardwareSplit(t *testing.T) {
+	software := []Category{CatOtherSW, CatPBS, CatVM, CatBoot, CatGPUDriver, CatLustre, CatSoftware, CatUnknown}
+	for _, c := range software {
+		if !c.Software() || c.Hardware() {
+			t.Errorf("%q should be software", c)
+		}
+	}
+	hardware := []Category{CatGPU, CatCPU, CatMemory, CatSSD, CatFan, CatPowerBoard, CatSXM2Cable}
+	for _, c := range hardware {
+		if !c.Hardware() || c.Software() {
+			t.Errorf("%q should be hardware", c)
+		}
+	}
+}
+
+func TestGPURelated(t *testing.T) {
+	for _, c := range []Category{CatGPU, CatGPUDriver, CatSXM2Cable, CatSXM2Board} {
+		if !c.GPURelated() {
+			t.Errorf("%q should be GPU-related", c)
+		}
+	}
+	for _, c := range []Category{CatCPU, CatMemory, CatSoftware, CatFan} {
+		if c.GPURelated() {
+			t.Errorf("%q should not be GPU-related", c)
+		}
+	}
+}
+
+func TestParseCategory(t *testing.T) {
+	c, err := ParseCategory(Tsubame2, "GPU")
+	if err != nil || c != CatGPU {
+		t.Errorf("ParseCategory = %v, %v", c, err)
+	}
+	if _, err := ParseCategory(Tsubame2, "OmniPath"); err == nil {
+		t.Error("cross-taxonomy parse should fail")
+	}
+	if _, err := ParseCategory(Tsubame3, "Garbage"); err == nil {
+		t.Error("unknown category should fail")
+	}
+}
+
+func TestSoftwareCauses(t *testing.T) {
+	causes := SoftwareCauses()
+	if len(causes) != 16 {
+		t.Errorf("%d software causes, Figure 3 shows a top-16", len(causes))
+	}
+	if causes[0] != CauseGPUDriver {
+		t.Errorf("first cause = %q, Figure 3's dominant locus is the GPU driver", causes[0])
+	}
+	for _, c := range causes {
+		if !c.Valid() {
+			t.Errorf("listed cause %q reports invalid", c)
+		}
+	}
+	if SoftwareCause("Bogus").Valid() {
+		t.Error("unknown cause should be invalid")
+	}
+	// Returned slice is a copy.
+	causes[0] = "Tampered"
+	if SoftwareCauses()[0] == "Tampered" {
+		t.Error("SoftwareCauses aliases internal state")
+	}
+}

@@ -1,0 +1,209 @@
+package failures
+
+import (
+	"fmt"
+	"time"
+)
+
+// Log is a chronologically ordered failure log for one system. The zero
+// value is an empty log; construct populated logs with NewLog so ordering
+// and validation invariants hold.
+type Log struct {
+	system  System
+	records []Failure
+}
+
+// NewLog builds a validated, time-sorted log from records. All records
+// must belong to system. The input slice is copied.
+func NewLog(system System, records []Failure) (*Log, error) {
+	if !system.Valid() {
+		return nil, fmt.Errorf("failures: invalid system %d", int(system))
+	}
+	sorted := append([]Failure(nil), records...)
+	for i := range sorted {
+		if sorted[i].System != system {
+			return nil, fmt.Errorf("failures: record %d belongs to %v, log is for %v", sorted[i].ID, sorted[i].System, system)
+		}
+		if err := sorted[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	SortByTime(sorted)
+	return &Log{system: system, records: sorted}, nil
+}
+
+// System returns the machine generation the log belongs to.
+func (l *Log) System() System { return l.system }
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.records) }
+
+// Records returns the chronologically ordered records. The returned slice
+// is a copy; mutating it does not affect the log.
+func (l *Log) Records() []Failure {
+	return append([]Failure(nil), l.records...)
+}
+
+// At returns record i in chronological order.
+func (l *Log) At(i int) Failure { return l.records[i] }
+
+// Window returns the occurrence times of the first and last records.
+// ok is false for an empty log.
+func (l *Log) Window() (start, end time.Time, ok bool) {
+	if len(l.records) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return l.records[0].Time, l.records[len(l.records)-1].Time, true
+}
+
+// Span returns the duration between the first and last failure.
+func (l *Log) Span() time.Duration {
+	start, end, ok := l.Window()
+	if !ok {
+		return 0
+	}
+	return end.Sub(start)
+}
+
+// Filter returns a new log containing the records for which keep returns
+// true. Ordering is preserved.
+func (l *Log) Filter(keep func(Failure) bool) *Log {
+	var out []Failure
+	for _, r := range l.records {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return &Log{system: l.system, records: out}
+}
+
+// ByCategory groups record counts per category.
+func (l *Log) ByCategory() map[Category]int {
+	out := make(map[Category]int)
+	for _, r := range l.records {
+		out[r.Category]++
+	}
+	return out
+}
+
+// ByNode groups record counts per node, skipping records without node
+// attribution.
+func (l *Log) ByNode() map[string]int {
+	out := make(map[string]int)
+	for _, r := range l.records {
+		if r.Node != "" {
+			out[r.Node]++
+		}
+	}
+	return out
+}
+
+// GPUFailures returns the sub-log of records whose category involves GPU
+// cards.
+func (l *Log) GPUFailures() *Log {
+	return l.Filter(func(f Failure) bool { return f.Category.GPURelated() })
+}
+
+// SoftwareFailures returns the sub-log of software-category records.
+func (l *Log) SoftwareFailures() *Log {
+	return l.Filter(func(f Failure) bool { return f.Software() })
+}
+
+// HardwareFailures returns the sub-log of hardware-category records.
+func (l *Log) HardwareFailures() *Log {
+	return l.Filter(func(f Failure) bool { return f.Hardware() })
+}
+
+// InterarrivalHours returns the time between consecutive failures in
+// hours: len(records)-1 values for a log with at least two records.
+func (l *Log) InterarrivalHours() []float64 {
+	if len(l.records) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(l.records)-1)
+	for i := 1; i < len(l.records); i++ {
+		out = append(out, l.records[i].Time.Sub(l.records[i-1].Time).Hours())
+	}
+	return out
+}
+
+// RecoveryHours returns every record's time to recovery in hours.
+func (l *Log) RecoveryHours() []float64 {
+	out := make([]float64, len(l.records))
+	for i, r := range l.records {
+		out[i] = r.Recovery.Hours()
+	}
+	return out
+}
+
+// MTBFHours returns the mean time between failures in hours (the mean
+// inter-arrival gap). ok is false when the log has fewer than two records.
+func (l *Log) MTBFHours() (float64, bool) {
+	gaps := l.InterarrivalHours()
+	if len(gaps) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	return sum / float64(len(gaps)), true
+}
+
+// MTTRHours returns the mean time to recovery in hours. ok is false for an
+// empty log.
+func (l *Log) MTTRHours() (float64, bool) {
+	if len(l.records) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, r := range l.records {
+		sum += r.Recovery.Hours()
+	}
+	return sum / float64(len(l.records)), true
+}
+
+// Merge combines l with other (same system) into a new sorted log.
+func (l *Log) Merge(other *Log) (*Log, error) {
+	if other == nil {
+		return NewLog(l.system, l.records)
+	}
+	if other.system != l.system {
+		return nil, fmt.Errorf("failures: cannot merge %v log into %v log", other.system, l.system)
+	}
+	combined := make([]Failure, 0, len(l.records)+len(other.records))
+	combined = append(combined, l.records...)
+	combined = append(combined, other.records...)
+	return NewLog(l.system, combined)
+}
+
+// SplitAt partitions the log into records strictly before t and records
+// at or after t — the train/test split used to back-test predictors
+// without leakage.
+func (l *Log) SplitAt(t time.Time) (before, after *Log) {
+	var a, b []Failure
+	for _, r := range l.records {
+		if r.Time.Before(t) {
+			a = append(a, r)
+		} else {
+			b = append(b, r)
+		}
+	}
+	return &Log{system: l.system, records: a}, &Log{system: l.system, records: b}
+}
+
+// SplitFraction splits the log chronologically so the first part holds
+// frac of the records (rounded down). frac outside (0, 1) returns the
+// whole log on one side.
+func (l *Log) SplitFraction(frac float64) (head, tail *Log) {
+	n := int(frac * float64(len(l.records)))
+	if n < 0 {
+		n = 0
+	}
+	if n > len(l.records) {
+		n = len(l.records)
+	}
+	head = &Log{system: l.system, records: append([]Failure(nil), l.records[:n]...)}
+	tail = &Log{system: l.system, records: append([]Failure(nil), l.records[n:]...)}
+	return head, tail
+}

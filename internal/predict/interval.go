@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/failures"
+)
+
+// IntervalEvaluation reports how well distribution-based prediction
+// intervals for the next failure are calibrated: a well-calibrated
+// predictor's ObservedCoverage matches its nominal level. The paper's
+// RQ5 summary motivates this ("leveraging failure prediction to initiate
+// recovery proactively"): an operator can only act on a prediction whose
+// uncertainty is honest.
+type IntervalEvaluation struct {
+	// Level is the nominal central-interval coverage (e.g. 0.8).
+	Level float64
+	// Predictions counts evaluated next-failure predictions.
+	Predictions int
+	// Hits counts actual gaps inside the predicted interval.
+	Hits int
+	// MeanWidthHours is the average interval width — the sharpness;
+	// calibration without sharpness is useless (the interval [0, inf)
+	// covers everything).
+	MeanWidthHours float64
+	// Family tallies which distribution family the rolling fit selected.
+	Family map[string]int
+}
+
+// ObservedCoverage is Hits/Predictions.
+func (e IntervalEvaluation) ObservedCoverage() float64 {
+	if e.Predictions == 0 {
+		return 0
+	}
+	return float64(e.Hits) / float64(e.Predictions)
+}
+
+// minFitWindow is the smallest training prefix for a rolling fit.
+const minFitWindow = 20
+
+// EvaluateIntervals walks a log chronologically: at each failure (after a
+// warm-up prefix), it fits the best distribution family to all previous
+// inter-arrival gaps, forms the central prediction interval at the given
+// level for the next gap, and checks whether the actual next gap lands
+// inside. This is a leakage-free back-test: every prediction uses only
+// the past.
+func EvaluateIntervals(log *failures.Log, level float64) (IntervalEvaluation, error) {
+	if level <= 0 || level >= 1 {
+		return IntervalEvaluation{}, fmt.Errorf("predict: level %v outside (0, 1)", level)
+	}
+	gaps := log.InterarrivalHours()
+	if len(gaps) < minFitWindow+1 {
+		return IntervalEvaluation{}, fmt.Errorf("predict: need more than %d gaps, got %d", minFitWindow, len(gaps))
+	}
+	positive := make([]float64, 0, len(gaps))
+	for _, g := range gaps {
+		if g > 0 {
+			positive = append(positive, g)
+		}
+	}
+	if len(positive) < minFitWindow+1 {
+		return IntervalEvaluation{}, fmt.Errorf("predict: need more than %d positive gaps, got %d", minFitWindow, len(positive))
+	}
+
+	ev := IntervalEvaluation{Level: level, Family: make(map[string]int)}
+	alpha := (1 - level) / 2
+	var widthSum float64
+	for i := minFitWindow; i < len(positive); i++ {
+		fit, err := dist.FitBest(positive[:i])
+		if err != nil {
+			continue
+		}
+		lo := fit.Dist.Quantile(alpha)
+		hi := fit.Dist.Quantile(1 - alpha)
+		ev.Predictions++
+		ev.Family[fit.Name]++
+		widthSum += hi - lo
+		if positive[i] >= lo && positive[i] <= hi {
+			ev.Hits++
+		}
+	}
+	if ev.Predictions == 0 {
+		return IntervalEvaluation{}, fmt.Errorf("predict: no predictions could be formed")
+	}
+	ev.MeanWidthHours = widthSum / float64(ev.Predictions)
+	return ev, nil
+}

@@ -1,0 +1,143 @@
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/failures"
+)
+
+// LocalityPredictor predicts follow-up multi-GPU failures from temporal
+// locality: after a failure that takes down several GPUs on one node, it
+// raises an alarm for WindowHours (the Figure 8 clustering observation).
+// The alarm is the trigger for proactive actions — draining sibling GPU
+// nodes, staging spares, or advancing checkpoints.
+type LocalityPredictor struct {
+	WindowHours float64
+	lastMulti   float64
+	armed       bool
+}
+
+// NewLocalityPredictor builds the predictor with a positive window.
+func NewLocalityPredictor(windowHours float64) (*LocalityPredictor, error) {
+	if !(windowHours > 0) {
+		return nil, fmt.Errorf("predict: window must be positive, got %v", windowHours)
+	}
+	return &LocalityPredictor{WindowHours: windowHours}, nil
+}
+
+// ObserveMulti records a multi-GPU failure at time now (hours).
+func (l *LocalityPredictor) ObserveMulti(now float64) {
+	l.lastMulti = now
+	l.armed = true
+}
+
+// Alarmed reports whether a follow-up multi-GPU failure is predicted at
+// time now.
+func (l *LocalityPredictor) Alarmed(now float64) bool {
+	return l.armed && now >= l.lastMulti && now-l.lastMulti <= l.WindowHours
+}
+
+// Evaluation is the confusion-matrix summary of a predictor back-test.
+type Evaluation struct {
+	// Events is the number of multi-GPU failures evaluated (the first one
+	// cannot be predicted and is excluded).
+	Events int
+	// Hits counts events that arrived while the alarm was raised.
+	Hits int
+	// AlarmHours is the total time the alarm was up — the proactive-
+	// action budget the policy would have spent.
+	AlarmHours float64
+	// SpanHours is the evaluated timeline length.
+	SpanHours float64
+}
+
+// Recall is the fraction of events that were predicted.
+func (ev Evaluation) Recall() float64 {
+	if ev.Events == 0 {
+		return 0
+	}
+	return float64(ev.Hits) / float64(ev.Events)
+}
+
+// AlarmFraction is the share of the timeline spent alarmed — the
+// precision proxy (a predictor alarmed 100% of the time has recall 1 and
+// is useless).
+func (ev Evaluation) AlarmFraction() float64 {
+	if ev.SpanHours <= 0 {
+		return 0
+	}
+	return ev.AlarmHours / ev.SpanHours
+}
+
+// Lift is recall divided by alarm fraction: how much better than random
+// the alarm timing is (1 = no better).
+func (ev Evaluation) Lift() float64 {
+	af := ev.AlarmFraction()
+	if af == 0 {
+		return 0
+	}
+	return ev.Recall() / af
+}
+
+// EvaluateLocality back-tests a locality predictor against the multi-GPU
+// failures of a log.
+func EvaluateLocality(log *failures.Log, windowHours float64) (Evaluation, error) {
+	pred, err := NewLocalityPredictor(windowHours)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	records := log.Records()
+	if len(records) == 0 {
+		return Evaluation{}, fmt.Errorf("predict: empty log")
+	}
+	origin := records[0].Time
+	var ev Evaluation
+	var lastAlarmStart float64
+	alarmOpen := false
+	closeAlarm := func(until float64) {
+		if !alarmOpen {
+			return
+		}
+		end := lastAlarmStart + windowHours
+		if end > until {
+			end = until
+		}
+		if end > lastAlarmStart {
+			ev.AlarmHours += end - lastAlarmStart
+		}
+		alarmOpen = false
+	}
+	var seenFirst bool
+	var lastTime float64
+	for _, r := range records {
+		now := r.Time.Sub(origin).Hours()
+		lastTime = now
+		if !r.MultiGPU() {
+			continue
+		}
+		if seenFirst {
+			ev.Events++
+			if pred.Alarmed(now) {
+				ev.Hits++
+			}
+		}
+		seenFirst = true
+		// Extending the alarm: close the previous window at the new
+		// event's start if they overlap, else at its natural end.
+		if alarmOpen && now < lastAlarmStart+windowHours {
+			ev.AlarmHours += now - lastAlarmStart
+			alarmOpen = false
+		} else {
+			closeAlarm(now)
+		}
+		pred.ObserveMulti(now)
+		lastAlarmStart = now
+		alarmOpen = true
+	}
+	closeAlarm(lastTime)
+	ev.SpanHours = lastTime
+	if ev.Events == 0 {
+		return ev, fmt.Errorf("predict: log has fewer than two multi-GPU failures")
+	}
+	return ev, nil
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// defaultBarWidth is the character budget of the largest bar.
+const defaultBarWidth = 40
+
+// BarChart renders labeled horizontal bars scaled to the largest value,
+// the textual equivalent of the paper's category histograms.
+func BarChart(title string, labels []string, values []float64, unit string) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(labels) == 0 || len(labels) != len(values) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxVal := 0.0
+	labelWidth := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * defaultBarWidth)
+		}
+		if v > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.2f%s\n", labelWidth, labels[i], strings.Repeat("#", bar), v, unit)
+	}
+	return b.String()
+}
+
+// CDFPlot renders an empirical CDF as a fixed-size character grid with the
+// X axis in hours, the textual equivalent of Figures 6 and 9.
+func CDFPlot(title string, cdf *stats.ECDF, width, height int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if cdf == nil || width < 10 || height < 4 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	lo, hi := 0.0, cdf.Max()
+	if hi <= lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		x := lo + (hi-lo)*float64(c)/float64(width-1)
+		f := cdf.Eval(x)
+		r := int((1 - f) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		grid[r][c] = '*'
+	}
+	for r, row := range grid {
+		f := 1 - float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s\n", f, string(row))
+	}
+	fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "       %-*.1f%*.1f (hours)\n", width/2, lo, width/2, hi)
+	return b.String()
+}
+
+// BoxRow renders one category's five-number summary as a text boxplot row
+// over [lo, hi], the building block of Figures 7, 10 and 11.
+func BoxRow(label string, s stats.Summary, lo, hi float64, width int) string {
+	if width < 10 || hi <= lo {
+		return fmt.Sprintf("%s (no scale)\n", label)
+	}
+	pos := func(x float64) int {
+		p := int((x - lo) / (hi - lo) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for c := pos(s.WhiskerLow()); c <= pos(s.WhiskerHigh()); c++ {
+		row[c] = '-'
+	}
+	for c := pos(s.Q1); c <= pos(s.Q3); c++ {
+		row[c] = '='
+	}
+	row[pos(s.Median)] = '|'
+	return fmt.Sprintf("%-14s %s  n=%d mean=%.1f\n", label, string(row), s.N, s.Mean)
+}
+
+// BoxPlot renders labeled boxplot rows on a shared scale.
+func BoxPlot(title string, labels []string, summaries []stats.Summary, width int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(labels) == 0 || len(labels) != len(summaries) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	lo, hi := summaries[0].Min, summaries[0].Max
+	for _, s := range summaries {
+		if s.Min < lo {
+			lo = s.Min
+		}
+		if s.Max > hi {
+			hi = s.Max
+		}
+	}
+	for i := range labels {
+		b.WriteString(BoxRow(labels[i], summaries[i], lo, hi, width))
+	}
+	fmt.Fprintf(&b, "%-14s %.1f .. %.1f hours\n", "scale:", lo, hi)
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the golden files:
+//
+//	go test ./internal/report/ -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenFullReport pins the byte-exact full-report output for the
+// canonical seed: any unintended change to an analysis or renderer shows
+// up as a diff here. Regenerate deliberately with -update after reviewed
+// changes.
+func TestGoldenFullReport(t *testing.T) {
+	cmp := testComparison(t)
+	got := FullReport(cmp)
+	path := filepath.Join("testdata", "full_report_seed42.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("full report diverged from golden output (%d vs %d bytes); rerun with -update if intended",
+			len(got), len(want))
+		// Show the first divergence for debugging.
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				lo := i - 40
+				if lo < 0 {
+					lo = 0
+				}
+				hiG, hiW := i+40, i+40
+				if hiG > len(got) {
+					hiG = len(got)
+				}
+				if hiW > len(want) {
+					hiW = len(want)
+				}
+				t.Errorf("first divergence at byte %d:\n got: %q\nwant: %q", i, got[lo:hiG], want[lo:hiW])
+				break
+			}
+		}
+	}
+}
+
+// TestGoldenMarkdown pins the markdown report the same way.
+func TestGoldenMarkdown(t *testing.T) {
+	cmp := testComparison(t)
+	got := MarkdownReport(cmp)
+	path := filepath.Join("testdata", "markdown_report_seed42.md")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("markdown report diverged from golden output; rerun with -update if intended")
+	}
+}

@@ -1,0 +1,99 @@
+// Package report renders analysis results as aligned text tables and
+// ASCII charts — the medium through which the benchmark harness and the
+// command-line tools regenerate every table and figure of the paper.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table. Append rows with Row; render with
+// String.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// RowStrings appends a pre-formatted row.
+func (t *Table) RowStrings(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], cell)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		var sep []string
+		for i := 0; i < cols; i++ {
+			sep = append(sep, strings.Repeat("-", widths[i]))
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

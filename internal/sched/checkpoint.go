@@ -1,0 +1,160 @@
+// Package sched models the scheduling-layer mitigations the paper's
+// implications sections motivate: checkpoint-interval tuning against each
+// generation's MTBF, and GPU-slot load-balancing under the non-uniform
+// per-slot failure rates of Figure 5.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// CheckpointModel parameterizes a checkpoint/restart scheme for a long-
+// running job on a failure-prone system.
+type CheckpointModel struct {
+	// CheckpointCostHours is the time to write one checkpoint (delta).
+	CheckpointCostHours float64
+	// RestartCostHours is the time to restore after a failure (R).
+	RestartCostHours float64
+	// MTBFHours is the system's mean time between failures (M).
+	MTBFHours float64
+}
+
+func (m CheckpointModel) validate() error {
+	if !(m.CheckpointCostHours > 0) || !(m.MTBFHours > 0) || m.RestartCostHours < 0 {
+		return fmt.Errorf("sched: invalid checkpoint model %+v", m)
+	}
+	return nil
+}
+
+// OptimalInterval returns the Young/Daly first-order optimum
+// sqrt(2*delta*M) - delta, clamped to be positive.
+func (m CheckpointModel) OptimalInterval() float64 {
+	tau := math.Sqrt(2*m.CheckpointCostHours*m.MTBFHours) - m.CheckpointCostHours
+	if tau < m.CheckpointCostHours {
+		tau = m.CheckpointCostHours
+	}
+	return tau
+}
+
+// Efficiency returns the expected fraction of wall-clock time spent on
+// useful work with checkpoint interval tau, under Daly's exponential-
+// failure completion-time model:
+//
+//	T(W) = M * exp(R/M) * (exp((tau+delta)/M) - 1) * W / tau
+//
+// Efficiency is W/T.
+func (m CheckpointModel) Efficiency(tau float64) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	if !(tau > 0) {
+		return 0, fmt.Errorf("sched: checkpoint interval must be positive, got %v", tau)
+	}
+	M := m.MTBFHours
+	blowup := M * math.Exp(m.RestartCostHours/M) * (math.Exp((tau+m.CheckpointCostHours)/M) - 1) / tau
+	return 1 / blowup, nil
+}
+
+// SimulatedEfficiency measures goodput by Monte-Carlo simulation: a job
+// runs for horizon hours, checkpointing every tau hours; failures arrive
+// from failDist; each failure costs the restart time plus all work since
+// the last completed checkpoint. It validates the analytic model on
+// non-exponential failure processes (the Tsubame-3 Weibull regime).
+func SimulatedEfficiency(m CheckpointModel, tau float64, failDist dist.Distribution, horizonHours float64, seed int64) (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	if !(tau > 0) {
+		return 0, fmt.Errorf("sched: checkpoint interval must be positive, got %v", tau)
+	}
+	if failDist == nil {
+		return 0, fmt.Errorf("sched: need a failure distribution")
+	}
+	if !(horizonHours > 0) {
+		return 0, fmt.Errorf("sched: horizon must be positive, got %v", horizonHours)
+	}
+	rng := dist.Fork(seed, "sched/checkpoint")
+	var (
+		now       float64
+		useful    float64
+		sinceCkpt float64 // useful work accumulated since last checkpoint
+		nextFail  = failDist.Sample(rng)
+		untilCkpt = tau
+		delta     = m.CheckpointCostHours
+		inCkpt    bool
+		ckptLeft  float64
+	)
+	for now < horizonHours {
+		var step float64
+		if inCkpt {
+			step = ckptLeft
+		} else {
+			step = untilCkpt
+		}
+		if nextFail < step {
+			step = nextFail
+		}
+		if now+step > horizonHours {
+			step = horizonHours - now
+		}
+		now += step
+		nextFail -= step
+		if inCkpt {
+			ckptLeft -= step
+		} else {
+			useful += step
+			sinceCkpt += step
+			untilCkpt -= step
+		}
+		switch {
+		case now >= horizonHours:
+			// done
+		case nextFail <= 0:
+			// Failure: lose uncommitted work, pay restart, redo the lost
+			// work implicitly by not counting it.
+			useful -= sinceCkpt
+			sinceCkpt = 0
+			now += m.RestartCostHours
+			inCkpt = false
+			untilCkpt = tau
+			nextFail = failDist.Sample(rng)
+		case inCkpt && ckptLeft <= 0:
+			inCkpt = false
+			sinceCkpt = 0
+			untilCkpt = tau
+		case !inCkpt && untilCkpt <= 0:
+			inCkpt = true
+			ckptLeft = delta
+		}
+	}
+	if useful < 0 {
+		useful = 0
+	}
+	return useful / horizonHours, nil
+}
+
+// IntervalSweep evaluates analytic efficiency across intervals and returns
+// the best interval found plus the per-interval efficiencies; it powers
+// the checkpoint ablation bench.
+func IntervalSweep(m CheckpointModel, intervals []float64) (best float64, eff []float64, err error) {
+	if len(intervals) == 0 {
+		return 0, nil, fmt.Errorf("sched: empty interval sweep")
+	}
+	eff = make([]float64, len(intervals))
+	bestEff := -1.0
+	for i, tau := range intervals {
+		e, err := m.Efficiency(tau)
+		if err != nil {
+			return 0, nil, err
+		}
+		eff[i] = e
+		if e > bestEff {
+			bestEff = e
+			best = tau
+		}
+	}
+	return best, eff, nil
+}

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// ColocationConfig parameterizes the RQ3-implication experiment: when a
+// single failure can take down several GPUs of one node simultaneously
+// (Table III), co-locating independent single-GPU jobs on that node
+// exposes them to collateral damage. The experiment measures jobs killed
+// per GPU failure under two packing disciplines.
+type ColocationConfig struct {
+	// GPUsPerNode is the node's slot count.
+	GPUsPerNode int
+	// InvolvementPMF[i] is the probability a GPU failure takes down i+1
+	// slots simultaneously (Table III).
+	InvolvementPMF []float64
+	// JobsPerNode is how many independent single-GPU jobs share a node
+	// under the co-located discipline (at most GPUsPerNode).
+	JobsPerNode int
+	// Trials is the Monte-Carlo sample size.
+	Trials int
+	Seed   int64
+}
+
+func (c *ColocationConfig) validate() error {
+	if c.GPUsPerNode < 1 {
+		return fmt.Errorf("sched: need at least one GPU per node, got %d", c.GPUsPerNode)
+	}
+	if len(c.InvolvementPMF) == 0 || len(c.InvolvementPMF) > c.GPUsPerNode {
+		return fmt.Errorf("sched: involvement PMF length %d outside [1, %d]", len(c.InvolvementPMF), c.GPUsPerNode)
+	}
+	var sum float64
+	for i, p := range c.InvolvementPMF {
+		if p < 0 {
+			return fmt.Errorf("sched: involvement PMF entry %d negative", i)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("sched: involvement PMF sums to %v", sum)
+	}
+	if c.JobsPerNode < 1 || c.JobsPerNode > c.GPUsPerNode {
+		return fmt.Errorf("sched: jobs per node %d outside [1, %d]", c.JobsPerNode, c.GPUsPerNode)
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("sched: need at least one trial, got %d", c.Trials)
+	}
+	return nil
+}
+
+// ColocationResult contrasts the two disciplines.
+type ColocationResult struct {
+	// ColocatedKillsPerFailure is the expected number of jobs killed by
+	// one GPU failure when JobsPerNode single-GPU jobs share the node.
+	ColocatedKillsPerFailure float64
+	// DedicatedKillsPerFailure is the same with one job per node (the
+	// failure kills at most that job).
+	DedicatedKillsPerFailure float64
+	// CollateralRatio is colocated over dedicated: how much co-location
+	// amplifies the blast radius under this involvement distribution.
+	CollateralRatio float64
+}
+
+// SimulateColocation estimates the collateral-damage amplification of
+// co-location under a multi-GPU involvement distribution. Jobs occupy
+// distinct uniformly-chosen slots; a failure takes down an involvement-
+// sized uniformly-chosen slot set; every job whose slot is hit dies.
+func SimulateColocation(cfg ColocationConfig) (*ColocationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := dist.Fork(cfg.Seed, "sched/colocation")
+	slots := cfg.GPUsPerNode
+	var colocatedKills, dedicatedKills float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Involvement size for this failure.
+		u := rng.Float64()
+		size := len(cfg.InvolvementPMF)
+		var cum float64
+		for i, p := range cfg.InvolvementPMF {
+			cum += p
+			if u <= cum {
+				size = i + 1
+				break
+			}
+		}
+		// Hit slots: first `size` entries of a slot permutation.
+		perm := rng.Perm(slots)
+		hit := make(map[int]bool, size)
+		for _, s := range perm[:size] {
+			hit[s] = true
+		}
+		// Co-located jobs on slots perm2[:JobsPerNode].
+		perm2 := rng.Perm(slots)
+		for _, s := range perm2[:cfg.JobsPerNode] {
+			if hit[s] {
+				colocatedKills++
+			}
+		}
+		// Dedicated: the single job occupies one uniformly-chosen slot.
+		if hit[perm2[0]] {
+			dedicatedKills++
+		}
+	}
+	res := &ColocationResult{
+		ColocatedKillsPerFailure: colocatedKills / float64(cfg.Trials),
+		DedicatedKillsPerFailure: dedicatedKills / float64(cfg.Trials),
+	}
+	if res.DedicatedKillsPerFailure > 0 {
+		res.CollateralRatio = res.ColocatedKillsPerFailure / res.DedicatedKillsPerFailure
+	}
+	return res, nil
+}

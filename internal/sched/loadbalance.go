@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// PlacementPolicy decides which GPU slot a single-GPU job lands on.
+type PlacementPolicy int
+
+// The three policies of the load-balancing ablation (the paper's RQ2
+// implication: "HPC centers should inform and help end-users take
+// advantage of all the GPUs in a node in a load-balanced manner").
+const (
+	// PlacePacked mimics naive user behaviour: always the lowest-numbered
+	// free slot, concentrating utilization on a few slots.
+	PlacePacked PlacementPolicy = iota + 1
+	// PlaceBalanced spreads jobs over the least-utilized free slot.
+	PlaceBalanced
+	// PlaceReliabilityAware prefers the free slot with the lowest
+	// historical failure weight.
+	PlaceReliabilityAware
+)
+
+// String implements fmt.Stringer.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlacePacked:
+		return "packed"
+	case PlaceBalanced:
+		return "balanced"
+	case PlaceReliabilityAware:
+		return "reliability-aware"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// LoadBalanceConfig parameterizes the slot-placement simulation of one
+// multi-GPU node.
+type LoadBalanceConfig struct {
+	// SlotWeights is the intrinsic per-slot failure propensity
+	// (Figure 5); length is the node's GPU count.
+	SlotWeights []float64
+	// BaseRatePerHour is the per-slot failure rate at full utilization
+	// for weight 1.0.
+	BaseRatePerHour float64
+	// UtilizationSensitivity in [0, 1]: 0 means failures are independent
+	// of load; 1 means the hazard is fully proportional to utilization.
+	UtilizationSensitivity float64
+	// JobHours is each job's duration; ArrivalEveryHours the mean gap
+	// between job arrivals (exponential).
+	JobHours          float64
+	ArrivalEveryHours float64
+	HorizonHours      float64
+	Seed              int64
+}
+
+func (c *LoadBalanceConfig) validate() error {
+	if len(c.SlotWeights) < 2 {
+		return fmt.Errorf("sched: need at least 2 slots, got %d", len(c.SlotWeights))
+	}
+	for i, w := range c.SlotWeights {
+		if !(w > 0) {
+			return fmt.Errorf("sched: slot weight %d must be positive, got %v", i, w)
+		}
+	}
+	if !(c.BaseRatePerHour > 0) || !(c.JobHours > 0) || !(c.ArrivalEveryHours > 0) || !(c.HorizonHours > 0) {
+		return fmt.Errorf("sched: non-positive rate/duration in %+v", *c)
+	}
+	if c.UtilizationSensitivity < 0 || c.UtilizationSensitivity > 1 {
+		return fmt.Errorf("sched: utilization sensitivity %v outside [0, 1]", c.UtilizationSensitivity)
+	}
+	return nil
+}
+
+// LoadBalanceResult summarizes one placement policy's outcomes.
+type LoadBalanceResult struct {
+	Policy          PlacementPolicy
+	JobsCompleted   int
+	JobsInterrupted int
+	// InterruptionRate is interruptions per completed-or-interrupted job.
+	InterruptionRate float64
+	// SlotBusyHours is the utilization each slot accumulated.
+	SlotBusyHours []float64
+}
+
+// SimulateLoadBalance runs a time-stepped Monte-Carlo of one node's GPU
+// slots under a placement policy. Jobs occupy one slot for JobHours; slot
+// failures are Poisson with hazard BaseRate * weight * (1-s + s*util)
+// where s is the utilization sensitivity; a failure interrupts the
+// resident job.
+func SimulateLoadBalance(cfg LoadBalanceConfig, policy PlacementPolicy) (*LoadBalanceResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if policy < PlacePacked || policy > PlaceReliabilityAware {
+		return nil, fmt.Errorf("sched: unknown placement policy %d", int(policy))
+	}
+	rng := dist.Fork(cfg.Seed, "sched/loadbalance/"+policy.String())
+	n := len(cfg.SlotWeights)
+	const step = 0.25 // hours per tick; small versus job and MTBF scales
+	busyUntil := make([]float64, n)
+	busyHours := make([]float64, n)
+	res := &LoadBalanceResult{Policy: policy, SlotBusyHours: busyHours}
+	nextArrival := -math.Log(1-rng.Float64()) * cfg.ArrivalEveryHours
+
+	for now := 0.0; now < cfg.HorizonHours; now += step {
+		// Job arrivals.
+		for nextArrival <= now {
+			slot := pickSlot(cfg, policy, busyUntil, busyHours, now)
+			if slot >= 0 {
+				busyUntil[slot] = now + cfg.JobHours
+			}
+			nextArrival += -math.Log(1-rng.Float64()) * cfg.ArrivalEveryHours
+		}
+		// Per-slot failure draws for this tick.
+		for s := 0; s < n; s++ {
+			busy := busyUntil[s] > now
+			util := 0.0
+			if busy {
+				util = 1.0
+				busyHours[s] += step
+			}
+			hazard := cfg.BaseRatePerHour * cfg.SlotWeights[s] *
+				((1 - cfg.UtilizationSensitivity) + cfg.UtilizationSensitivity*util)
+			if rng.Float64() < 1-math.Exp(-hazard*step) {
+				if busy {
+					res.JobsInterrupted++
+					busyUntil[s] = 0
+				}
+			} else if busy && busyUntil[s] <= now+step {
+				res.JobsCompleted++
+				busyUntil[s] = 0
+			}
+		}
+	}
+	total := res.JobsCompleted + res.JobsInterrupted
+	if total > 0 {
+		res.InterruptionRate = float64(res.JobsInterrupted) / float64(total)
+	}
+	return res, nil
+}
+
+// pickSlot applies the placement policy over free slots; -1 when all slots
+// are busy (the job is rejected; arrival processes are identical across
+// policies so rejection does not bias the comparison).
+func pickSlot(cfg LoadBalanceConfig, policy PlacementPolicy, busyUntil, busyHours []float64, now float64) int {
+	best := -1
+	for s := range cfg.SlotWeights {
+		if busyUntil[s] > now {
+			continue
+		}
+		if best == -1 {
+			best = s
+			continue
+		}
+		switch policy {
+		case PlacePacked:
+			// Lowest index wins; best already is the lowest free.
+		case PlaceBalanced:
+			if busyHours[s] < busyHours[best] {
+				best = s
+			}
+		case PlaceReliabilityAware:
+			if cfg.SlotWeights[s] < cfg.SlotWeights[best] {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+// CompareLoadBalance runs all three policies on the same configuration and
+// returns the results in policy order.
+func CompareLoadBalance(cfg LoadBalanceConfig) ([]*LoadBalanceResult, error) {
+	policies := []PlacementPolicy{PlacePacked, PlaceBalanced, PlaceReliabilityAware}
+	out := make([]*LoadBalanceResult, 0, len(policies))
+	for _, p := range policies {
+		r, err := SimulateLoadBalance(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,359 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func t2Model() CheckpointModel {
+	// Tsubame-2 regime: MTBF ~15 h.
+	return CheckpointModel{CheckpointCostHours: 0.1, RestartCostHours: 0.2, MTBFHours: 15.3}
+}
+
+func t3Model() CheckpointModel {
+	// Tsubame-3 regime: MTBF ~72 h.
+	return CheckpointModel{CheckpointCostHours: 0.1, RestartCostHours: 0.2, MTBFHours: 72.6}
+}
+
+func TestOptimalIntervalYoungDaly(t *testing.T) {
+	m := t2Model()
+	want := math.Sqrt(2*0.1*15.3) - 0.1
+	if got := m.OptimalInterval(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("optimal interval = %v, want %v", got, want)
+	}
+	// Higher MTBF -> longer optimal interval.
+	if t3Model().OptimalInterval() <= m.OptimalInterval() {
+		t.Error("Tsubame-3's optimal interval should exceed Tsubame-2's")
+	}
+}
+
+func TestOptimalIntervalClampsTiny(t *testing.T) {
+	m := CheckpointModel{CheckpointCostHours: 10, RestartCostHours: 0, MTBFHours: 1}
+	if got := m.OptimalInterval(); got < m.CheckpointCostHours {
+		t.Errorf("interval %v below checkpoint cost", got)
+	}
+}
+
+func TestEfficiencyPeaksNearOptimum(t *testing.T) {
+	m := t2Model()
+	opt := m.OptimalInterval()
+	effOpt, err := m.Efficiency(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{opt / 5, opt * 5} {
+		eff, err := m.Efficiency(tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eff >= effOpt {
+			t.Errorf("efficiency at tau=%v (%v) >= at optimum %v (%v)", tau, eff, opt, effOpt)
+		}
+	}
+	if effOpt <= 0 || effOpt >= 1 {
+		t.Errorf("efficiency at optimum = %v, want in (0, 1)", effOpt)
+	}
+}
+
+func TestEfficiencyImprovesWithMTBF(t *testing.T) {
+	tau := 1.5
+	e2, err := t2Model().Efficiency(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := t3Model().Efficiency(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 <= e2 {
+		t.Errorf("Tsubame-3 efficiency %v should exceed Tsubame-2's %v", e3, e2)
+	}
+}
+
+func TestEfficiencyValidation(t *testing.T) {
+	m := t2Model()
+	if _, err := m.Efficiency(0); err == nil {
+		t.Error("zero interval should fail")
+	}
+	bad := CheckpointModel{CheckpointCostHours: 0, MTBFHours: 10}
+	if _, err := bad.Efficiency(1); err == nil {
+		t.Error("zero checkpoint cost should fail")
+	}
+}
+
+func TestSimulatedEfficiencyMatchesAnalytic(t *testing.T) {
+	m := t2Model()
+	tau := m.OptimalInterval()
+	failDist, err := dist.NewExponential(m.MTBFHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := m.Efficiency(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated, err := SimulatedEfficiency(m, tau, failDist, 500000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simulated-analytic) > 0.05 {
+		t.Errorf("simulated %v vs analytic %v: divergence > 0.05", simulated, analytic)
+	}
+}
+
+func TestSimulatedEfficiencyPrefersOptimalInterval(t *testing.T) {
+	m := t3Model()
+	failDist, err := dist.WeibullFromMean(0.74, m.MTBFHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := m.OptimalInterval()
+	effOpt, err := SimulatedEfficiency(m, opt, failDist, 300000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effShort, err := SimulatedEfficiency(m, opt/10, failDist, 300000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effLong, err := SimulatedEfficiency(m, opt*10, failDist, 300000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effOpt <= effShort || effOpt <= effLong {
+		t.Errorf("optimum %v not best: short %v, long %v", effOpt, effShort, effLong)
+	}
+}
+
+func TestSimulatedEfficiencyValidation(t *testing.T) {
+	m := t2Model()
+	d, _ := dist.NewExponential(10)
+	if _, err := SimulatedEfficiency(m, 0, d, 100, 1); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := SimulatedEfficiency(m, 1, nil, 100, 1); err == nil {
+		t.Error("nil distribution should fail")
+	}
+	if _, err := SimulatedEfficiency(m, 1, d, 0, 1); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestIntervalSweep(t *testing.T) {
+	m := t2Model()
+	intervals := []float64{0.5, 1, 1.5, 2, 3, 5, 10}
+	best, eff, err := IntervalSweep(m, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff) != len(intervals) {
+		t.Fatalf("eff len = %d", len(eff))
+	}
+	// Young/Daly optimum ~1.65 h: the sweep should pick 1.5 or 2.
+	if best != 1.5 && best != 2 {
+		t.Errorf("best interval = %v, want 1.5 or 2 (optimum ~1.65)", best)
+	}
+	if _, _, err := IntervalSweep(m, nil); err == nil {
+		t.Error("empty sweep should fail")
+	}
+}
+
+func lbConfig() LoadBalanceConfig {
+	return LoadBalanceConfig{
+		// Tsubame-3's Figure 5(b) skew. The offered load (~0.8 of one
+		// slot) leaves policies free to pick different slots, which is
+		// where placement matters; at saturation every policy uses every
+		// slot and the comparison washes out.
+		SlotWeights:            []float64{1.5, 0.75, 0.75, 1.5},
+		BaseRatePerHour:        0.002,
+		UtilizationSensitivity: 0.8,
+		JobHours:               24,
+		ArrivalEveryHours:      30,
+		HorizonHours:           200000,
+		Seed:                   42,
+	}
+}
+
+func TestSimulateLoadBalanceValidation(t *testing.T) {
+	cfg := lbConfig()
+	cfg.SlotWeights = []float64{1}
+	if _, err := SimulateLoadBalance(cfg, PlaceBalanced); err == nil {
+		t.Error("single slot should fail")
+	}
+	cfg = lbConfig()
+	cfg.SlotWeights[0] = 0
+	if _, err := SimulateLoadBalance(cfg, PlaceBalanced); err == nil {
+		t.Error("zero weight should fail")
+	}
+	cfg = lbConfig()
+	cfg.UtilizationSensitivity = 2
+	if _, err := SimulateLoadBalance(cfg, PlaceBalanced); err == nil {
+		t.Error("sensitivity > 1 should fail")
+	}
+	if _, err := SimulateLoadBalance(lbConfig(), PlacementPolicy(99)); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestLoadBalancePolicies(t *testing.T) {
+	results, err := CompareLoadBalance(lbConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	byPolicy := make(map[PlacementPolicy]*LoadBalanceResult)
+	for _, r := range results {
+		byPolicy[r.Policy] = r
+		if r.JobsCompleted == 0 {
+			t.Errorf("%v completed no jobs", r.Policy)
+		}
+	}
+	packed := byPolicy[PlacePacked]
+	aware := byPolicy[PlaceReliabilityAware]
+	// Packing concentrates load on slot 0, which carries an elevated
+	// intrinsic failure weight on Tsubame-3; reliability-aware placement
+	// must interrupt fewer jobs.
+	if aware.InterruptionRate >= packed.InterruptionRate {
+		t.Errorf("reliability-aware rate %v should beat packed %v",
+			aware.InterruptionRate, packed.InterruptionRate)
+	}
+	// Balanced placement spreads utilization: its busiest slot should be
+	// close to its idlest.
+	balanced := byPolicy[PlaceBalanced]
+	minB, maxB := balanced.SlotBusyHours[0], balanced.SlotBusyHours[0]
+	for _, h := range balanced.SlotBusyHours {
+		if h < minB {
+			minB = h
+		}
+		if h > maxB {
+			maxB = h
+		}
+	}
+	if minB < 0.7*maxB {
+		t.Errorf("balanced slot utilization uneven: %v", balanced.SlotBusyHours)
+	}
+	// Packed placement must be visibly uneven.
+	if packed.SlotBusyHours[0] < 1.2*packed.SlotBusyHours[len(packed.SlotBusyHours)-1] {
+		t.Errorf("packed utilization unexpectedly even: %v", packed.SlotBusyHours)
+	}
+}
+
+func TestPlacementPolicyString(t *testing.T) {
+	if PlacePacked.String() != "packed" || PlaceBalanced.String() != "balanced" ||
+		PlaceReliabilityAware.String() != "reliability-aware" {
+		t.Error("policy names wrong")
+	}
+	if PlacementPolicy(9).String() == "" {
+		t.Error("unknown policy should still stringify")
+	}
+}
+
+func TestSimulateColocationValidation(t *testing.T) {
+	base := ColocationConfig{
+		GPUsPerNode:    3,
+		InvolvementPMF: []float64{0.3044, 0.3478, 0.3478},
+		JobsPerNode:    3,
+		Trials:         1000,
+		Seed:           1,
+	}
+	tests := []struct {
+		name   string
+		mutate func(*ColocationConfig)
+	}{
+		{"zero slots", func(c *ColocationConfig) { c.GPUsPerNode = 0 }},
+		{"pmf too long", func(c *ColocationConfig) { c.InvolvementPMF = []float64{0.25, 0.25, 0.25, 0.25} }},
+		{"pmf not normalized", func(c *ColocationConfig) { c.InvolvementPMF = []float64{0.5} }},
+		{"negative pmf", func(c *ColocationConfig) { c.InvolvementPMF = []float64{1.5, -0.5} }},
+		{"too many jobs", func(c *ColocationConfig) { c.JobsPerNode = 4 }},
+		{"zero jobs", func(c *ColocationConfig) { c.JobsPerNode = 0 }},
+		{"zero trials", func(c *ColocationConfig) { c.Trials = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := SimulateColocation(cfg); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestColocationBlastRadiusT2VsT3(t *testing.T) {
+	// Tsubame-2's involvement (70% multi-GPU) makes full co-location far
+	// riskier than Tsubame-3's (92.6% single-GPU).
+	t2 := ColocationConfig{
+		GPUsPerNode:    3,
+		InvolvementPMF: []float64{0.3044, 0.3478, 0.3478}, // Table III T2
+		JobsPerNode:    3,
+		Trials:         200000,
+		Seed:           42,
+	}
+	t3 := ColocationConfig{
+		GPUsPerNode:    4,
+		InvolvementPMF: []float64{0.926, 0.0495, 0.0245, 0}, // Table III T3
+		JobsPerNode:    4,
+		Trials:         200000,
+		Seed:           42,
+	}
+	r2, err := SimulateColocation(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := SimulateColocation(t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully packed nodes: every hit slot kills a job, so kills per
+	// failure equal mean involvement: T2 ~2.04, T3 ~1.10.
+	if math.Abs(r2.ColocatedKillsPerFailure-2.04) > 0.05 {
+		t.Errorf("T2 co-located kills = %v, want ~2.04 (mean involvement)", r2.ColocatedKillsPerFailure)
+	}
+	if math.Abs(r3.ColocatedKillsPerFailure-1.10) > 0.05 {
+		t.Errorf("T3 co-located kills = %v, want ~1.10", r3.ColocatedKillsPerFailure)
+	}
+	// The blast radius per failure is what differs across generations:
+	// Tsubame-2's correlated multi-GPU failures kill nearly twice the
+	// co-located jobs per incident.
+	if r2.ColocatedKillsPerFailure <= 1.5*r3.ColocatedKillsPerFailure {
+		t.Errorf("T2 blast radius %v should far exceed T3's %v",
+			r2.ColocatedKillsPerFailure, r3.ColocatedKillsPerFailure)
+	}
+	// With uniform placement on fully packed nodes the collateral ratio
+	// is exactly JobsPerNode, independent of the involvement PMF.
+	if math.Abs(r2.CollateralRatio-3) > 0.15 {
+		t.Errorf("T2 fully-packed collateral ratio = %v, want ~3", r2.CollateralRatio)
+	}
+	if math.Abs(r3.CollateralRatio-4) > 0.25 {
+		t.Errorf("T3 fully-packed collateral ratio = %v, want ~4", r3.CollateralRatio)
+	}
+}
+
+func TestColocationPartialPacking(t *testing.T) {
+	cfg := ColocationConfig{
+		GPUsPerNode:    4,
+		InvolvementPMF: []float64{0.5, 0.5},
+		JobsPerNode:    2,
+		Trials:         100000,
+		Seed:           7,
+	}
+	res, err := SimulateColocation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean involvement 1.5 over 4 slots: dedicated kill rate 1.5/4 =
+	// 0.375; two jobs double it to 0.75.
+	if math.Abs(res.DedicatedKillsPerFailure-0.375) > 0.01 {
+		t.Errorf("dedicated kills = %v, want ~0.375", res.DedicatedKillsPerFailure)
+	}
+	if math.Abs(res.ColocatedKillsPerFailure-0.75) > 0.02 {
+		t.Errorf("co-located kills = %v, want ~0.75", res.ColocatedKillsPerFailure)
+	}
+	if math.Abs(res.CollateralRatio-2) > 0.1 {
+		t.Errorf("collateral ratio = %v, want ~2", res.CollateralRatio)
+	}
+}

@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/failures"
+)
+
+// Scope is the blast radius of a failure stream.
+type Scope int
+
+// Failure scopes: a node failure takes down one node; a rack failure
+// takes down every node of one rack (the Tsubame-2 "Rack" category).
+const (
+	ScopeNode Scope = iota
+	ScopeRack
+)
+
+// FailureProcess is one independent failure stream: a category, its
+// inter-arrival distribution, and its repair-duration distribution.
+// Processes are typically fitted from an analyzed failure log with
+// ProcessesFromLog.
+type FailureProcess struct {
+	Category     failures.Category
+	Interarrival dist.Distribution
+	Repair       dist.Distribution
+	// Scope is the blast radius (default ScopeNode). Rack-scoped
+	// processes require Config.NodesPerRack.
+	Scope Scope
+	// Involvement, when non-empty, is the PMF over how many GPU cards a
+	// failure takes down simultaneously (index i means i+1 cards, the
+	// Table III distribution). It drives Result.GPUCardIncidents and
+	// GPUCardHoursLost; length must not exceed Config.GPUsPerNode.
+	Involvement []float64
+}
+
+// PartsPolicy abstracts spare-part provisioning (implemented by the spares
+// package). Observe is called at every failure occurrence so predictive
+// policies can learn the failure rate; Acquire returns how long the repair
+// must wait for a part.
+type PartsPolicy interface {
+	Observe(cat failures.Category, now float64)
+	Acquire(cat failures.Category, now float64) (waitHours float64)
+}
+
+// alwaysAvailable is the default parts policy: no provisioning delays.
+type alwaysAvailable struct{}
+
+func (alwaysAvailable) Observe(failures.Category, float64) {}
+func (alwaysAvailable) Acquire(failures.Category, float64) float64 {
+	return 0
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Nodes int
+	// NodesPerRack partitions the fleet into racks for rack-scoped
+	// failure processes; 0 is allowed when no process is rack-scoped.
+	NodesPerRack int
+	// GPUsPerNode bounds the involvement PMFs of GPU failure processes;
+	// 0 is allowed when no process carries an involvement PMF.
+	GPUsPerNode  int
+	HorizonHours float64
+	Processes    []FailureProcess
+	// Crews is the number of simultaneous repairs; 0 means unlimited.
+	Crews int
+	// Parts supplies spare parts; nil means always available.
+	Parts PartsPolicy
+	// Proactive, when non-nil, models prediction-initiated recovery (the
+	// paper's RQ5 recommendation): a failure arriving within WindowHours
+	// of the previous same-category failure repairs at Factor of the
+	// sampled duration, because the alarm raised by the first failure let
+	// operators stage diagnosis, parts, and staff.
+	Proactive *ProactiveRecovery
+	// SampleEveryHours, when positive, records a nodes-down time series at
+	// that cadence in Result.Series.
+	SampleEveryHours float64
+	Seed             int64
+}
+
+// AvailabilitySample is one point of the nodes-down time series.
+type AvailabilitySample struct {
+	Hour      float64
+	NodesDown int
+}
+
+// ProactiveRecovery parameterizes the repair discount of predicted
+// failures.
+type ProactiveRecovery struct {
+	// WindowHours is how long the per-category alarm stays up after a
+	// failure.
+	WindowHours float64
+	// Factor scales the repair duration of failures arriving under an
+	// alarm; must be in (0, 1].
+	Factor float64
+}
+
+func (p *ProactiveRecovery) validate() error {
+	if !(p.WindowHours > 0) {
+		return fmt.Errorf("sim: proactive window must be positive, got %v", p.WindowHours)
+	}
+	if !(p.Factor > 0) || p.Factor > 1 {
+		return fmt.Errorf("sim: proactive factor %v outside (0, 1]", p.Factor)
+	}
+	return nil
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("sim: need at least one node, got %d", c.Nodes)
+	}
+	if !(c.HorizonHours > 0) {
+		return fmt.Errorf("sim: horizon must be positive, got %v", c.HorizonHours)
+	}
+	if len(c.Processes) == 0 {
+		return fmt.Errorf("sim: need at least one failure process")
+	}
+	seen := make(map[failures.Category]bool, len(c.Processes))
+	for i, p := range c.Processes {
+		if p.Interarrival == nil || p.Repair == nil {
+			return fmt.Errorf("sim: process %d (%s) missing distributions", i, p.Category)
+		}
+		if seen[p.Category] {
+			return fmt.Errorf("sim: duplicate process for category %s", p.Category)
+		}
+		seen[p.Category] = true
+		if p.Scope == ScopeRack && c.NodesPerRack < 1 {
+			return fmt.Errorf("sim: rack-scoped process %s requires NodesPerRack", p.Category)
+		}
+		if p.Scope != ScopeNode && p.Scope != ScopeRack {
+			return fmt.Errorf("sim: process %s has unknown scope %d", p.Category, int(p.Scope))
+		}
+		if len(p.Involvement) > 0 {
+			if c.GPUsPerNode < len(p.Involvement) {
+				return fmt.Errorf("sim: process %s involvement PMF longer than GPUsPerNode %d", p.Category, c.GPUsPerNode)
+			}
+			var sum float64
+			for j, pr := range p.Involvement {
+				if pr < 0 {
+					return fmt.Errorf("sim: process %s involvement entry %d negative", p.Category, j)
+				}
+				sum += pr
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return fmt.Errorf("sim: process %s involvement PMF sums to %v", p.Category, sum)
+			}
+		}
+	}
+	if c.Crews < 0 {
+		return fmt.Errorf("sim: negative crew count %d", c.Crews)
+	}
+	if c.SampleEveryHours < 0 {
+		return fmt.Errorf("sim: negative sampling cadence %v", c.SampleEveryHours)
+	}
+	if c.Proactive != nil {
+		if err := c.Proactive.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CategoryStats aggregates one category's outcomes.
+type CategoryStats struct {
+	Failures    int
+	RepairHours float64 // hands-on repair time
+	WaitHours   float64 // queueing for crews plus parts
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Failures int
+	// BegunRepairs counts repairs that were dispatched to a crew within
+	// the horizon; CompletedRepairs counts those that also finished.
+	// DiscountedRepairs counts begun repairs that benefited from the
+	// proactive-recovery alarm.
+	BegunRepairs      int
+	CompletedRepairs  int
+	DiscountedRepairs int
+	// NodeHoursLost is the union of node-down intervals clipped to the
+	// horizon, including repairs still in flight at the end.
+	NodeHoursLost float64
+	// Availability is 1 - lost/(nodes*horizon).
+	Availability float64
+	// MeanRepairWait is the average crew+parts wait per begun repair.
+	MeanRepairWait float64
+	// MeanTimeToRestore is the average failure-to-back-up time per begun
+	// repair (wait + hands-on repair).
+	MeanTimeToRestore float64
+	// PeakQueue is the largest number of repairs waiting for a crew.
+	PeakQueue   int
+	PerCategory map[failures.Category]CategoryStats
+	// Series is the nodes-down time series (empty unless
+	// Config.SampleEveryHours was set).
+	Series []AvailabilitySample
+	// GPUCardIncidents counts card incidents (each involvement-PMF
+	// failure contributes its drawn card count); GPUCardHoursLost prices
+	// them by repair duration.
+	GPUCardIncidents int
+	GPUCardHoursLost float64
+}
+
+// interval is a node-down span used for downtime union accounting.
+type interval struct{ start, end float64 }
+
+type repairTask struct {
+	category   failures.Category
+	nodes      []int // nodes taken down (one, or a whole rack)
+	cards      int   // GPU cards involved (0 for non-GPU processes)
+	start      float64
+	discounted bool // arrived under a proactive-recovery alarm
+}
+
+// procState couples a process with its deterministic sampling streams.
+type procState struct {
+	proc       FailureProcess
+	arrivalRNG *rand.Rand
+	repairRNG  *rand.Rand
+}
+
+// Run executes the simulation described by cfg. Runs are fully
+// deterministic in (cfg, cfg.Seed).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	parts := cfg.Parts
+	if parts == nil {
+		parts = alwaysAvailable{}
+	}
+	eng := &Engine{}
+	res := &Result{PerCategory: make(map[failures.Category]CategoryStats)}
+	downtime := make([][]interval, cfg.Nodes)
+
+	states := make(map[failures.Category]*procState, len(cfg.Processes))
+	for _, p := range cfg.Processes {
+		states[p.Category] = &procState{
+			proc:       p,
+			arrivalRNG: dist.Fork(cfg.Seed, "arrival/"+string(p.Category)),
+			repairRNG:  dist.Fork(cfg.Seed, "repair/"+string(p.Category)),
+		}
+	}
+
+	freeCrews := cfg.Crews
+	unlimited := cfg.Crews == 0
+	var queue []repairTask
+	var totalWait, totalRestore float64
+
+	var dispatch func()
+	begin := func(task repairTask) {
+		st := states[task.category]
+		crewWait := eng.Now() - task.start
+		partWait := parts.Acquire(task.category, eng.Now())
+		duration := st.proc.Repair.Sample(st.repairRNG)
+		if task.discounted {
+			duration *= cfg.Proactive.Factor
+			res.DiscountedRepairs++
+		}
+		wait := crewWait + partWait
+		end := eng.Now() + partWait + duration
+
+		stats := res.PerCategory[task.category]
+		stats.RepairHours += duration
+		stats.WaitHours += wait
+		res.PerCategory[task.category] = stats
+		if task.cards > 0 {
+			res.GPUCardIncidents += task.cards
+			res.GPUCardHoursLost += float64(task.cards) * duration
+		}
+		totalWait += wait
+		totalRestore += end - task.start
+		res.BegunRepairs++
+		// Record the down intervals now that the end is known; unionLength
+		// clips to the horizon, so repairs finishing past it are charged
+		// exactly the in-horizon portion.
+		for _, node := range task.nodes {
+			downtime[node] = append(downtime[node], interval{task.start, end})
+		}
+
+		mustSchedule(eng, partWait+duration, func() {
+			res.CompletedRepairs++
+			if !unlimited {
+				freeCrews++
+				dispatch()
+			}
+		})
+	}
+	dispatch = func() {
+		for len(queue) > 0 && (unlimited || freeCrews > 0) {
+			task := queue[0]
+			queue = queue[1:]
+			if !unlimited {
+				freeCrews--
+			}
+			begin(task)
+		}
+	}
+
+	// One self-rescheduling generator per failure process, started in
+	// declaration order so event tie-breaking is deterministic.
+	lastArrival := make(map[failures.Category]float64, len(cfg.Processes))
+	for _, p := range cfg.Processes {
+		st := states[p.Category]
+		var arrive func()
+		arrive = func() {
+			res.Failures++
+			stats := res.PerCategory[st.proc.Category]
+			stats.Failures++
+			res.PerCategory[st.proc.Category] = stats
+			nodes := pickVictims(st.proc, cfg, st.arrivalRNG)
+			cards := drawInvolvement(st.proc.Involvement, st.arrivalRNG)
+			parts.Observe(st.proc.Category, eng.Now())
+			discounted := false
+			if cfg.Proactive != nil {
+				if prev, seen := lastArrival[st.proc.Category]; seen &&
+					eng.Now()-prev <= cfg.Proactive.WindowHours {
+					discounted = true
+				}
+				lastArrival[st.proc.Category] = eng.Now()
+			}
+			queue = append(queue, repairTask{category: st.proc.Category, nodes: nodes, cards: cards, start: eng.Now(), discounted: discounted})
+			if len(queue) > res.PeakQueue {
+				res.PeakQueue = len(queue)
+			}
+			dispatch()
+			mustSchedule(eng, st.proc.Interarrival.Sample(st.arrivalRNG), arrive)
+		}
+		mustSchedule(eng, st.proc.Interarrival.Sample(st.arrivalRNG), arrive)
+	}
+
+	eng.Run(cfg.HorizonHours)
+
+	var lost float64
+	for _, spans := range downtime {
+		lost += unionLength(spans, cfg.HorizonHours)
+	}
+	// Tasks still waiting for a crew at the horizon have no recorded
+	// interval yet; charge their elapsed downtime per affected node.
+	for _, task := range queue {
+		lost += (cfg.HorizonHours - task.start) * float64(len(task.nodes))
+	}
+	res.NodeHoursLost = lost
+	res.Availability = 1 - lost/(float64(cfg.Nodes)*cfg.HorizonHours)
+	if cfg.SampleEveryHours > 0 {
+		res.Series = sampleNodesDown(downtime, cfg.HorizonHours, cfg.SampleEveryHours)
+	}
+	if res.BegunRepairs > 0 {
+		res.MeanRepairWait = totalWait / float64(res.BegunRepairs)
+		res.MeanTimeToRestore = totalRestore / float64(res.BegunRepairs)
+	}
+	return res, nil
+}
+
+// drawInvolvement samples the number of GPU cards a failure takes down
+// from the process PMF (0 when the process carries none).
+func drawInvolvement(pmf []float64, rng *rand.Rand) int {
+	if len(pmf) == 0 {
+		return 0
+	}
+	u := rng.Float64()
+	var cum float64
+	for i, p := range pmf {
+		cum += p
+		if u <= cum {
+			return i + 1
+		}
+	}
+	return len(pmf)
+}
+
+// pickVictims selects the nodes a failure takes down: one uniform node,
+// or every node of a uniform rack for rack-scoped processes.
+func pickVictims(proc FailureProcess, cfg Config, rng *rand.Rand) []int {
+	if proc.Scope != ScopeRack {
+		return []int{rng.Intn(cfg.Nodes)}
+	}
+	racks := (cfg.Nodes + cfg.NodesPerRack - 1) / cfg.NodesPerRack
+	rack := rng.Intn(racks)
+	first := rack * cfg.NodesPerRack
+	last := first + cfg.NodesPerRack
+	if last > cfg.Nodes {
+		last = cfg.Nodes
+	}
+	nodes := make([]int, 0, last-first)
+	for n := first; n < last; n++ {
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// mustSchedule wraps Engine.Schedule for callbacks that are statically
+// non-nil; Schedule only fails on nil actions.
+func mustSchedule(eng *Engine, delay float64, action func()) {
+	if err := eng.Schedule(delay, action); err != nil {
+		panic(err)
+	}
+}
+
+// mergeSpans returns the sorted union of spans as disjoint intervals.
+func mergeSpans(spans []interval) []interval {
+	if len(spans) == 0 {
+		return nil
+	}
+	sorted := append([]interval(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].start < sorted[j].start })
+	merged := []interval{sorted[0]}
+	for _, sp := range sorted[1:] {
+		last := &merged[len(merged)-1]
+		if sp.start <= last.end {
+			if sp.end > last.end {
+				last.end = sp.end
+			}
+			continue
+		}
+		merged = append(merged, sp)
+	}
+	return merged
+}
+
+// unionLength returns the total length of the union of spans, clipped to
+// [0, horizon].
+func unionLength(spans []interval, horizon float64) float64 {
+	var total float64
+	for _, sp := range mergeSpans(spans) {
+		s, e := sp.start, sp.end
+		if s < 0 {
+			s = 0
+		}
+		if e > horizon {
+			e = horizon
+		}
+		if e > s {
+			total += e - s
+		}
+	}
+	return total
+}
+
+// sampleNodesDown converts the per-node downtime intervals into a
+// nodes-down time series at the given cadence.
+func sampleNodesDown(downtime [][]interval, horizon, every float64) []AvailabilitySample {
+	type edge struct {
+		t     float64
+		delta int
+	}
+	var edges []edge
+	for _, spans := range downtime {
+		for _, sp := range mergeSpans(spans) {
+			edges = append(edges, edge{sp.start, +1}, edge{sp.end, -1})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		// Ends before starts at the same instant: a node repaired exactly
+		// at the sample time counts as up.
+		return edges[i].delta < edges[j].delta
+	})
+	var series []AvailabilitySample
+	down, next := 0, 0
+	for t := 0.0; t <= horizon; t += every {
+		for next < len(edges) && edges[next].t <= t {
+			down += edges[next].delta
+			next++
+		}
+		series = append(series, AvailabilitySample{Hour: t, NodesDown: down})
+	}
+	return series
+}

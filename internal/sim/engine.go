@@ -1,0 +1,86 @@
+// Package sim is a discrete-event simulator of cluster failure and repair
+// dynamics. It implements the operational-implications experiments of the
+// paper: how repair crews, spare provisioning, and proactive recovery
+// policies translate failure logs into node downtime and lost capacity.
+//
+// The engine is a classic event-heap simulator with a deterministic
+// tie-break so runs are exactly reproducible. Time is measured in hours
+// (float64), matching the rest of the repository.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is the discrete-event core: a clock and a time-ordered action
+// queue. The zero value is ready to use.
+type Engine struct {
+	now   float64
+	seq   int
+	queue eventHeap
+}
+
+type event struct {
+	time   float64
+	seq    int // schedule order breaks time ties deterministically
+	action func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time in hours.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs action after delay hours. Negative delays schedule
+// "now" (delay 0); actions at equal times run in schedule order.
+func (e *Engine) Schedule(delay float64, action func()) error {
+	if action == nil {
+		return fmt.Errorf("sim: cannot schedule a nil action")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	heap.Push(&e.queue, &event{time: e.now + delay, seq: e.seq, action: action})
+	e.seq++
+	return nil
+}
+
+// Run processes events until the queue drains or the clock passes until.
+// Events scheduled exactly at until still run.
+func (e *Engine) Run(until float64) {
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.time
+		next.action()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of queued events (events past the Run horizon
+// remain queued).
+func (e *Engine) Pending() int { return e.queue.Len() }

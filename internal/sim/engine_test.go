@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	eng := &Engine{}
+	var order []int
+	must := func(delay float64, id int) {
+		t.Helper()
+		if err := eng.Schedule(delay, func() { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(5, 1)
+	must(1, 2)
+	must(3, 3)
+	eng.Run(10)
+	want := []int{2, 3, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if eng.Now() != 10 {
+		t.Errorf("Now = %v, want 10 (clock advances to horizon)", eng.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	eng := &Engine{}
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := eng.Schedule(2, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run(10)
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("tie order = %v, want scheduling order", order)
+		}
+	}
+}
+
+func TestEngineHorizonStopsEvents(t *testing.T) {
+	eng := &Engine{}
+	fired := false
+	if err := eng.Schedule(100, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(50)
+	if fired {
+		t.Error("event past horizon fired")
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", eng.Pending())
+	}
+	// A later Run picks it up.
+	eng.Run(150)
+	if !fired {
+		t.Error("event did not fire on the extended run")
+	}
+}
+
+func TestEngineEventAtExactHorizonFires(t *testing.T) {
+	eng := &Engine{}
+	fired := false
+	if err := eng.Schedule(50, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(50)
+	if !fired {
+		t.Error("event at exactly the horizon should fire")
+	}
+}
+
+func TestEngineCascadingEvents(t *testing.T) {
+	eng := &Engine{}
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			if err := eng.Schedule(1, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Schedule(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(100)
+	if count != 10 {
+		t.Errorf("cascade count = %d, want 10", count)
+	}
+	if eng.Now() != 100 {
+		t.Errorf("Now = %v, want 100", eng.Now())
+	}
+}
+
+func TestEngineNegativeDelayClamps(t *testing.T) {
+	eng := &Engine{}
+	var at float64 = -1
+	if err := eng.Schedule(5, func() {
+		if err := eng.Schedule(-10, func() { at = eng.Now() }); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(20)
+	if at != 5 {
+		t.Errorf("negative-delay event ran at %v, want 5 (now)", at)
+	}
+}
+
+func TestEngineNilAction(t *testing.T) {
+	eng := &Engine{}
+	if err := eng.Schedule(1, nil); err == nil {
+		t.Error("nil action should be rejected")
+	}
+}
+
+func TestUnionLength(t *testing.T) {
+	tests := []struct {
+		name    string
+		spans   []interval
+		horizon float64
+		want    float64
+	}{
+		{"empty", nil, 100, 0},
+		{"single", []interval{{10, 20}}, 100, 10},
+		{"disjoint", []interval{{0, 10}, {20, 30}}, 100, 20},
+		{"overlapping", []interval{{0, 15}, {10, 20}}, 100, 20},
+		{"nested", []interval{{0, 30}, {10, 20}}, 100, 30},
+		{"out of order", []interval{{20, 30}, {0, 10}}, 100, 20},
+		{"clipped at horizon", []interval{{90, 200}}, 100, 10},
+		{"entirely past horizon", []interval{{150, 200}}, 100, 0},
+		{"touching merge", []interval{{0, 10}, {10, 20}}, 100, 20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := unionLength(tt.spans, tt.horizon); got != tt.want {
+				t.Errorf("unionLength = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}

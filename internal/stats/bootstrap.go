@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI estimates a percentile-method confidence interval for an
+// arbitrary statistic of xs by resampling with replacement. level is the
+// confidence level in (0, 1), e.g. 0.95; rounds is the number of bootstrap
+// resamples; rng provides determinism (analyses must be reproducible run to
+// run).
+//
+// The MTBF and MTTR point estimates reported in EXPERIMENTS.md carry
+// bootstrap intervals produced by this function.
+func BootstrapCI(xs []float64, stat func([]float64) float64, level float64, rounds int, rng *rand.Rand) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	if level <= 0 || level >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence level %v outside (0, 1)", level)
+	}
+	if rounds < 1 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs at least 1 round, got %d", rounds)
+	}
+	if rng == nil {
+		return 0, 0, fmt.Errorf("stats: bootstrap requires a deterministic rng")
+	}
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		estimates[r] = stat(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - level) / 2
+	return quantileSorted(estimates, alpha), quantileSorted(estimates, 1-alpha), nil
+}
+
+// BootstrapSE estimates the standard error of a statistic by bootstrap
+// resampling.
+func BootstrapSE(xs []float64, stat func([]float64) float64, rounds int, rng *rand.Rand) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if rounds < 2 {
+		return 0, fmt.Errorf("stats: bootstrap SE needs at least 2 rounds, got %d", rounds)
+	}
+	if rng == nil {
+		return 0, fmt.Errorf("stats: bootstrap requires a deterministic rng")
+	}
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		estimates[r] = stat(resample)
+	}
+	return StdDev(estimates), nil
+}

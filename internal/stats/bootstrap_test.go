@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCIErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := BootstrapCI(nil, Mean, 0.95, 100, rng); err != ErrEmpty {
+		t.Errorf("empty error = %v", err)
+	}
+	xs := []float64{1, 2, 3}
+	if _, _, err := BootstrapCI(xs, Mean, 1.5, 100, rng); err == nil {
+		t.Error("expected error for level outside (0,1)")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 0.95, 0, rng); err == nil {
+		t.Error("expected error for zero rounds")
+	}
+	if _, _, err := BootstrapCI(xs, Mean, 0.95, 100, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 55 // MTTR-like sample, true mean 55
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 0.95, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Errorf("CI [%v, %v] does not contain the sample mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 {
+		t.Errorf("CI width = %v, want positive", hi-lo)
+	}
+	// The 95% interval of a 400-sample exponential mean is roughly
+	// +/- 2*55/20 = 5.5; allow generous slack but reject absurd widths.
+	if hi-lo > 30 {
+		t.Errorf("CI suspiciously wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	lo1, hi1, err := BootstrapCI(xs, Median, 0.9, 200, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapCI(xs, Median, 0.9, 200, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Errorf("same seed produced different CIs: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+}
+
+func TestBootstrapCINarrowsWithLevel(t *testing.T) {
+	xs := make([]float64, 200)
+	rng := rand.New(rand.NewSource(9))
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	lo99, hi99, _ := BootstrapCI(xs, Mean, 0.99, 800, rand.New(rand.NewSource(1)))
+	lo80, hi80, _ := BootstrapCI(xs, Mean, 0.80, 800, rand.New(rand.NewSource(1)))
+	if hi80-lo80 >= hi99-lo99 {
+		t.Errorf("80%% CI [%v,%v] should be narrower than 99%% CI [%v,%v]", lo80, hi80, lo99, hi99)
+	}
+}
+
+func TestBootstrapSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	se, err := BootstrapSE(xs, Mean, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True SE of the mean is sigma/sqrt(n) = 1; bootstrap estimate should
+	// land in the neighborhood.
+	if se < 0.5 || se > 2 {
+		t.Errorf("bootstrap SE = %v, want ~1", se)
+	}
+	if _, err := BootstrapSE(nil, Mean, 10, rng); err != ErrEmpty {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := BootstrapSE(xs, Mean, 1, rng); err == nil {
+		t.Error("expected error for rounds < 2")
+	}
+	if _, err := BootstrapSE(xs, Mean, 10, nil); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+		t.Errorf("mismatch error = %v", err)
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err != ErrEmpty {
+		t.Errorf("too-small error = %v", err)
+	}
+	r, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(r) {
+		t.Errorf("zero-variance Pearson = %v, want NaN", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Monotone but nonlinear: Spearman must be exactly 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rho, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(rho, 1, 1e-12) {
+		t.Errorf("Spearman = %v, want 1", rho)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	got := Ranks([]float64{5, 5, 5})
+	for _, r := range got {
+		if !almostEqual(r, 2, 1e-12) {
+			t.Fatalf("Ranks all-tied = %v, want all 2", got)
+		}
+	}
+}
+
+func TestAutoCorrelation(t *testing.T) {
+	// Lag 0 is always 1.
+	xs := []float64{1, 5, 2, 8, 3, 9, 1, 7}
+	if got := AutoCorrelation(xs, 0); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("lag-0 autocorrelation = %v, want 1", got)
+	}
+	// Alternating series has strongly negative lag-1 autocorrelation.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if got := AutoCorrelation(alt, 1); got >= 0 {
+		t.Errorf("alternating lag-1 autocorrelation = %v, want negative", got)
+	}
+	if !math.IsNaN(AutoCorrelation(xs, -1)) || !math.IsNaN(AutoCorrelation(xs, len(xs))) {
+		t.Error("invalid lag should be NaN")
+	}
+	if !math.IsNaN(AutoCorrelation([]float64{3, 3, 3}, 1)) {
+		t.Error("zero-variance autocorrelation should be NaN")
+	}
+}
+
+// Property: Pearson is bounded in [-1, 1] and symmetric.
+func TestPearsonBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		a, err := Pearson(xs, ys)
+		if err != nil {
+			return false
+		}
+		b, err := Pearson(ys, xs)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(a) {
+			return math.IsNaN(b)
+		}
+		return a >= -1-1e-9 && a <= 1+1e-9 && almostEqual(a, b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Spearman is invariant under strictly monotone transforms of
+// either variable.
+func TestSpearmanInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		a, err := Spearman(xs, ys)
+		if err != nil {
+			return false
+		}
+		cubed := make([]float64, n)
+		for i, x := range xs {
+			cubed[i] = x * x * x // strictly monotone
+		}
+		b, err := Spearman(cubed, ys)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(a) {
+			return math.IsNaN(b)
+		}
+		return almostEqual(a, b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSum(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3.5}, 3.5},
+		{"mixed signs", []float64{1, -1, 2, -2, 5}, 5},
+		// Naive accumulation loses the two 1s to rounding and returns 0;
+		// Kahan compensation recovers the exact value 2.
+		{"catastrophic cancellation", []float64{1e16, 1, 1, -1e16}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Sum(tt.in); got != tt.want {
+				t.Errorf("Sum(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty is NaN", nil, math.NaN()},
+		{"single", []float64{7}, 7},
+		{"uniform", []float64{2, 4, 6, 8}, 5},
+		{"negative", []float64{-3, 3}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Known sample variance (n-1): mean=5, ss=32, var=32/7.
+	wantVar := 32.0 / 7
+	if got := Variance(xs); !almostEqual(got, wantVar, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, wantVar)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(wantVar), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(wantVar))
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single observation should be NaN")
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Error("Variance of empty sample should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5, -9, 2, 6}
+	if got := Min(xs); got != -9 {
+		t.Errorf("Min = %v, want -9", got)
+	}
+	if got := Max(xs); got != 6 {
+		t.Errorf("Max = %v, want 6", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty sample should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{1, 10},
+		{0.5, 5.5},
+		{0.25, 3.25},
+		{0.75, 7.75},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(p=%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty sample should be NaN")
+	}
+	if got := Quantile([]float64{42}, 0.73); got != 42 {
+		t.Errorf("Quantile of singleton = %v, want 42", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	orig := append([]float64(nil), xs...)
+	Quantile(xs, 0.5)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("Quantile mutated input at %d: %v != %v", i, xs[i], orig[i])
+		}
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := Quantiles(xs, []float64{0, 0.5, 1, -1})
+	if got[0] != 1 || got[2] != 4 {
+		t.Errorf("Quantiles endpoints = %v", got)
+	}
+	if !almostEqual(got[1], 2.5, 1e-12) {
+		t.Errorf("Quantiles median = %v, want 2.5", got[1])
+	}
+	if !math.IsNaN(got[3]) {
+		t.Error("invalid probability should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 10 || s.Max != 50 || s.Median != 30 || s.Mean != 30 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almostEqual(s.Q1, 20, 1e-12) || !almostEqual(s.Q3, 40, 1e-12) {
+		t.Errorf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+	if !almostEqual(s.IQR(), 20, 1e-12) {
+		t.Errorf("IQR = %v, want 20", s.IQR())
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummaryWhiskers(t *testing.T) {
+	s := Summary{Min: 0, Q1: 10, Median: 15, Q3: 20, Max: 100}
+	// IQR=10: whiskers at max(0, -5)=0 and min(100, 35)=35.
+	if got := s.WhiskerLow(); got != 0 {
+		t.Errorf("WhiskerLow = %v, want 0", got)
+	}
+	if got := s.WhiskerHigh(); got != 35 {
+		t.Errorf("WhiskerHigh = %v, want 35", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 100}); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("GeometricMean = %v, want 10", got)
+	}
+	if !math.IsNaN(GeometricMean([]float64{1, 0})) {
+		t.Error("GeometricMean with zero should be NaN")
+	}
+	if !math.IsNaN(GeometricMean(nil)) {
+		t.Error("GeometricMean of empty should be NaN")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	// Exponential-like data has CV near 1; constant data has CV 0... but
+	// here just verify the definition.
+	xs := []float64{10, 20, 30}
+	want := StdDev(xs) / 20
+	if got := CoefficientOfVariation(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("CV = %v, want %v", got, want)
+	}
+	if !math.IsNaN(CoefficientOfVariation([]float64{-1, 1})) {
+		t.Error("CV with zero mean should be NaN")
+	}
+}
+
+// Property: quantile is monotone in p and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := Quantile(xs, p)
+			if q < prev-1e-9 {
+				return false
+			}
+			if q < Min(xs)-1e-9 || q > Max(xs)+1e-9 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max] and matches sum/n.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return math.IsNaN(Mean(xs))
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize agrees with direct quantile computation.
+func TestSummarizeConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(80)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.ExpFloat64() * 50
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return almostEqual(s.Median, Quantile(xs, 0.5), 1e-9) &&
+			almostEqual(s.Min, sorted[0], 0) &&
+			almostEqual(s.Max, sorted[n-1], 0) &&
+			s.Q1 <= s.Median+1e-9 && s.Median <= s.Q3+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

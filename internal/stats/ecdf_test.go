@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); err != ErrEmpty {
+		t.Errorf("NewECDF(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestECDFEval(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{1.5, 0.25},
+		{2, 0.75}, // ties counted inclusively
+		{2.5, 0.75},
+		{3, 1},
+		{99, 1},
+	}
+	for _, tt := range tests {
+		if got := e.Eval(tt.x); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Eval(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestECDFQuantileRoundTrip(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v, want 3", got)
+	}
+	if e.Min() != 1 || e.Max() != 5 || e.N() != 5 {
+		t.Errorf("Min/Max/N = %v/%v/%v", e.Min(), e.Max(), e.N())
+	}
+	if !math.IsNaN(e.Quantile(2)) {
+		t.Error("Quantile(2) should be NaN")
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	e, err := NewECDF(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs[0] = 999
+	if e.Max() == 999 {
+		t.Error("ECDF aliases caller's slice")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{0, 10})
+	pts := e.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) returned %d points", len(pts))
+	}
+	if pts[0].X != 0 || pts[4].X != 10 {
+		t.Errorf("endpoints = %v, %v", pts[0], pts[4])
+	}
+	if pts[4].F != 1 {
+		t.Errorf("final F = %v, want 1", pts[4].F)
+	}
+	if got := e.Points(1); len(got) != 2 {
+		t.Errorf("Points(1) should clamp to 2 points, got %d", len(got))
+	}
+}
+
+func TestECDFStepPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 1, 2, 3, 3, 3})
+	pts := e.StepPoints()
+	if len(pts) != 3 {
+		t.Fatalf("StepPoints = %v, want 3 distinct steps", pts)
+	}
+	wantF := []float64{2.0 / 6, 3.0 / 6, 1}
+	for i, pt := range pts {
+		if !almostEqual(pt.F, wantF[i], 1e-12) {
+			t.Errorf("step %d F = %v, want %v", i, pt.F, wantF[i])
+		}
+	}
+}
+
+// Property: Eval is a valid CDF — monotone, 0 before min, 1 at max.
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		if e.Eval(e.Min()-1) != 0 || e.Eval(e.Max()) != 1 {
+			return false
+		}
+		prev := -1.0
+		for x := e.Min() - 1; x <= e.Max()+1; x += (e.Max() - e.Min() + 2) / 37 {
+			f := e.Eval(x)
+			if f < prev || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval(Quantile(p)) >= p - 2/n for all p. Type-7 quantiles
+// interpolate between order statistics, so exact inversion can undershoot
+// by up to one observation's mass plus the interpolation gap.
+func TestECDFQuantileInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Intn(20))
+		}
+		e, err := NewECDF(xs)
+		if err != nil {
+			return false
+		}
+		slack := 2/float64(n) + 1e-9
+		for p := 0.05; p < 1; p += 0.1 {
+			if e.Eval(e.Quantile(p)) < p-slack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

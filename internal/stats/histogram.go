@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram bins a sample into equal-width buckets over [Lo, Hi). Values
+// below Lo land in the first bucket and values at or above Hi land in the
+// last, so every observation is counted (the monthly failure-count figures
+// must not silently drop records).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width buckets spanning
+// [lo, hi). It returns an error if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if math.IsNaN(x) {
+		// NaN observations count toward the total but no bucket; the
+		// caller can detect them via Total() vs the bucket sum.
+		return
+	}
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of observations recorded, including NaNs.
+func (h *Histogram) Total() int { return h.total }
+
+// BinWidth returns the width of each bucket.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }
+
+// BinCenter returns the midpoint of bucket i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Fractions returns each bucket's share of the non-NaN observations.
+// All shares are zero when the histogram is empty.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	var n int
+	for _, c := range h.Counts {
+		n += c
+	}
+	if n == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(n)
+	}
+	return out
+}
+
+// Mode returns the index of the fullest bucket (the smallest index wins
+// ties).
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("expected error for empty range")
+	}
+	if _, err := NewHistogram(10, 5, 3); err == nil {
+		t.Error("expected error for inverted range")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{0, 1.9, 2, 4, 6, 8, 9.99})
+	want := []int{2, 1, 1, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 2)
+	h.Add(-5)  // below range -> first bin
+	h.Add(100) // above range -> last bin
+	h.Add(10)  // exactly Hi -> last bin
+	if h.Counts[0] != 1 || h.Counts[1] != 2 {
+		t.Errorf("clamped counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramNaN(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 2)
+	h.Add(math.NaN())
+	h.Add(5)
+	if h.Total() != 2 {
+		t.Errorf("Total = %d, want 2 (NaN counted)", h.Total())
+	}
+	if h.Counts[0]+h.Counts[1] != 1 {
+		t.Errorf("NaN should not land in a bucket: %v", h.Counts)
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.AddAll([]float64{1, 1, 3})
+	fr := h.Fractions()
+	if !almostEqual(fr[0], 2.0/3, 1e-12) || !almostEqual(fr[1], 1.0/3, 1e-12) {
+		t.Errorf("Fractions = %v", fr)
+	}
+	empty, _ := NewHistogram(0, 1, 3)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Errorf("empty histogram fractions = %v", empty.Fractions())
+		}
+	}
+}
+
+func TestHistogramGeometry(t *testing.T) {
+	h, _ := NewHistogram(10, 20, 4)
+	if got := h.BinWidth(); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("BinWidth = %v, want 2.5", got)
+	}
+	if got := h.BinCenter(0); !almostEqual(got, 11.25, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 11.25", got)
+	}
+	if got := h.BinCenter(3); !almostEqual(got, 18.75, 1e-12) {
+		t.Errorf("BinCenter(3) = %v, want 18.75", got)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, _ := NewHistogram(0, 3, 3)
+	h.AddAll([]float64{0.5, 1.5, 1.5, 2.5, 2.5})
+	if got := h.Mode(); got != 1 {
+		t.Errorf("Mode = %d, want 1 (ties break low)", got)
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func uniformCDF(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+func TestKSOneSampleEmpty(t *testing.T) {
+	if _, err := KSOneSample(nil, uniformCDF); err != ErrEmpty {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestKSOneSampleUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	d, err := KSOneSample(xs, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For n=2000 the 1% critical value is ~1.63/sqrt(n) ~ 0.036.
+	if d > 0.04 {
+		t.Errorf("KS for true uniform sample = %v, want < 0.04", d)
+	}
+}
+
+func TestKSOneSampleDetectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64() * rng.Float64() // concentrated near 0
+	}
+	d, err := KSOneSample(xs, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.15 {
+		t.Errorf("KS for non-uniform sample = %v, want clearly > 0.15", d)
+	}
+}
+
+func TestKSOneSampleExactSmall(t *testing.T) {
+	// Single point at 0.5 under uniform: D = max(|0.5-0|, |1-0.5|) = 0.5.
+	d, err := KSOneSample([]float64{0.5}, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0.5, 1e-12) {
+		t.Errorf("D = %v, want 0.5", d)
+	}
+}
+
+func TestKSTwoSampleIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, err := KSTwoSample(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("KS of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSTwoSampleDisjoint(t *testing.T) {
+	d, err := KSTwoSample([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 1, 1e-12) {
+		t.Errorf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	if _, err := KSTwoSample(nil, []float64{1}); err != ErrEmpty {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestKSTwoSampleSymmetric(t *testing.T) {
+	a := []float64{1, 3, 5, 7}
+	b := []float64{2, 3, 4}
+	d1, _ := KSTwoSample(a, b)
+	d2, _ := KSTwoSample(b, a)
+	if !almostEqual(d1, d2, 1e-12) {
+		t.Errorf("KS not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestKSPValue(t *testing.T) {
+	// Tiny statistic: p near 1. Huge statistic: p near 0.
+	if p := KSPValue(0.001, 100); p < 0.99 {
+		t.Errorf("p-value for tiny D = %v, want ~1", p)
+	}
+	if p := KSPValue(0.9, 100); p > 1e-6 {
+		t.Errorf("p-value for huge D = %v, want ~0", p)
+	}
+	if p := KSPValue(0.5, 0); p != 1 {
+		t.Errorf("p-value with n=0 = %v, want 1", p)
+	}
+	// Monotone decreasing in D.
+	prev := 1.1
+	for d := 0.05; d <= 0.5; d += 0.05 {
+		p := KSPValue(d, 50)
+		if p > prev {
+			t.Errorf("p-value not monotone at D=%v: %v > %v", d, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Errorf("p-value out of range at D=%v: %v", d, p)
+		}
+		prev = p
+	}
+}
+
+func TestKSPValueKnownValue(t *testing.T) {
+	// lambda = 1 gives Q ~ 0.27; with the Stephens correction n -> large
+	// makes lambda ~ sqrt(n)*d, so pick d = 1/sqrt(n) with large n.
+	n := 1e6
+	d := 1 / math.Sqrt(n)
+	p := KSPValue(d, n)
+	if p < 0.25 || p > 0.29 {
+		t.Errorf("p-value at lambda~1 = %v, want ~0.27", p)
+	}
+}

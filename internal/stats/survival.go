@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"sort"
+)
+
+// SurvivalPoint is one step of a Kaplan-Meier survival curve: the estimated
+// probability that the duration exceeds Time.
+type SurvivalPoint struct {
+	Time     float64
+	Survival float64
+	AtRisk   int
+	Events   int
+}
+
+// Observation is a possibly right-censored duration. Censored observations
+// arise when a component is retired or the log window ends before the next
+// failure (the paper's log windows truncate the final inter-arrival of
+// every node).
+type Observation struct {
+	Duration float64
+	Censored bool
+}
+
+// KaplanMeier computes the product-limit survival estimate for the given
+// observations. The returned curve is sorted by time and contains one point
+// per distinct event time. Censored-only inputs yield a flat curve at 1.
+func KaplanMeier(obs []Observation) ([]SurvivalPoint, error) {
+	if len(obs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]Observation(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Duration < sorted[j].Duration })
+
+	var curve []SurvivalPoint
+	surv := 1.0
+	atRisk := len(sorted)
+	for i := 0; i < len(sorted); {
+		t := sorted[i].Duration
+		events, removed := 0, 0
+		for i < len(sorted) && sorted[i].Duration == t {
+			if !sorted[i].Censored {
+				events++
+			}
+			removed++
+			i++
+		}
+		if events > 0 {
+			surv *= 1 - float64(events)/float64(atRisk)
+			curve = append(curve, SurvivalPoint{Time: t, Survival: surv, AtRisk: atRisk, Events: events})
+		}
+		atRisk -= removed
+	}
+	if curve == nil {
+		// All observations censored: survival never drops below 1.
+		curve = []SurvivalPoint{{Time: sorted[len(sorted)-1].Duration, Survival: 1, AtRisk: len(sorted)}}
+	}
+	return curve, nil
+}
+
+// MedianSurvivalTime returns the earliest time at which the survival curve
+// drops to 0.5 or below, or NaN (as ok=false) when the curve never reaches
+// it (heavy censoring).
+func MedianSurvivalTime(curve []SurvivalPoint) (float64, bool) {
+	for _, pt := range curve {
+		if pt.Survival <= 0.5 {
+			return pt.Time, true
+		}
+	}
+	return 0, false
+}
+
+// RestrictedMeanSurvival returns the restricted mean survival time up to
+// horizon tau: the area under the Kaplan-Meier curve on [0, tau]. This is
+// the standard way to compare MTBF across systems with different censoring.
+func RestrictedMeanSurvival(curve []SurvivalPoint, tau float64) float64 {
+	var area float64
+	prevT, prevS := 0.0, 1.0
+	for _, pt := range curve {
+		t := pt.Time
+		if t > tau {
+			t = tau
+		}
+		if t > prevT {
+			area += prevS * (t - prevT)
+			prevT = t
+		}
+		prevS = pt.Survival
+		if pt.Time >= tau {
+			return area
+		}
+	}
+	if tau > prevT {
+		area += prevS * (tau - prevT)
+	}
+	return area
+}
+
+// HazardPoint is one step of a Nelson-Aalen cumulative-hazard curve.
+type HazardPoint struct {
+	Time             float64
+	CumulativeHazard float64
+}
+
+// NelsonAalen computes the cumulative-hazard estimator H(t) = sum d_i/n_i
+// over event times, the standard companion to Kaplan-Meier: a straight
+// line means a constant failure rate (exponential lifetimes); upward
+// curvature means aging, downward means infant mortality.
+func NelsonAalen(obs []Observation) ([]HazardPoint, error) {
+	if len(obs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]Observation(nil), obs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Duration < sorted[j].Duration })
+	var curve []HazardPoint
+	hazard := 0.0
+	atRisk := len(sorted)
+	for i := 0; i < len(sorted); {
+		t := sorted[i].Duration
+		events, removed := 0, 0
+		for i < len(sorted) && sorted[i].Duration == t {
+			if !sorted[i].Censored {
+				events++
+			}
+			removed++
+			i++
+		}
+		if events > 0 {
+			hazard += float64(events) / float64(atRisk)
+			curve = append(curve, HazardPoint{Time: t, CumulativeHazard: hazard})
+		}
+		atRisk -= removed
+	}
+	if curve == nil {
+		curve = []HazardPoint{{Time: sorted[len(sorted)-1].Duration}}
+	}
+	return curve, nil
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func obsList(durations ...float64) []Observation {
+	out := make([]Observation, len(durations))
+	for i, d := range durations {
+		out[i] = Observation{Duration: d}
+	}
+	return out
+}
+
+func TestKaplanMeierEmpty(t *testing.T) {
+	if _, err := KaplanMeier(nil); err != ErrEmpty {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestKaplanMeierNoCensoring(t *testing.T) {
+	// Without censoring, KM equals the empirical survival function.
+	curve, err := KaplanMeier(obsList(1, 2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.75, 0.5, 0.25, 0}
+	if len(curve) != 4 {
+		t.Fatalf("curve = %+v", curve)
+	}
+	for i, pt := range curve {
+		if !almostEqual(pt.Survival, want[i], 1e-12) {
+			t.Errorf("S(%v) = %v, want %v", pt.Time, pt.Survival, want[i])
+		}
+	}
+}
+
+func TestKaplanMeierWithCensoring(t *testing.T) {
+	// Classic worked example: events at 1 and 3, censored at 2.
+	// S(1) = 1 - 1/3 = 2/3. At t=3 only 1 at risk: S(3) = 2/3 * 0 = 0.
+	obs := []Observation{
+		{Duration: 1},
+		{Duration: 2, Censored: true},
+		{Duration: 3},
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve = %+v", curve)
+	}
+	if !almostEqual(curve[0].Survival, 2.0/3, 1e-12) {
+		t.Errorf("S(1) = %v, want 2/3", curve[0].Survival)
+	}
+	if !almostEqual(curve[1].Survival, 0, 1e-12) {
+		t.Errorf("S(3) = %v, want 0", curve[1].Survival)
+	}
+	if curve[1].AtRisk != 1 {
+		t.Errorf("at-risk at t=3 = %d, want 1", curve[1].AtRisk)
+	}
+}
+
+func TestKaplanMeierTiedEvents(t *testing.T) {
+	curve, err := KaplanMeier(obsList(2, 2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve = %+v", curve)
+	}
+	if !almostEqual(curve[0].Survival, 1.0/3, 1e-12) || curve[0].Events != 2 {
+		t.Errorf("tied step = %+v", curve[0])
+	}
+}
+
+func TestKaplanMeierAllCensored(t *testing.T) {
+	obs := []Observation{{Duration: 1, Censored: true}, {Duration: 2, Censored: true}}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 || curve[0].Survival != 1 {
+		t.Errorf("all-censored curve = %+v, want flat at 1", curve)
+	}
+}
+
+func TestMedianSurvivalTime(t *testing.T) {
+	curve, _ := KaplanMeier(obsList(10, 20, 30, 40))
+	med, ok := MedianSurvivalTime(curve)
+	if !ok || med != 20 {
+		t.Errorf("median survival = %v (ok=%v), want 20", med, ok)
+	}
+	flat := []SurvivalPoint{{Time: 5, Survival: 0.9}}
+	if _, ok := MedianSurvivalTime(flat); ok {
+		t.Error("median of a curve never reaching 0.5 should report ok=false")
+	}
+}
+
+func TestRestrictedMeanSurvival(t *testing.T) {
+	// Single event at t=2 among 2 observations... use simple exact case:
+	// events at 1 and 3. S=1 on [0,1), 0.5 on [1,3), 0 after.
+	curve, _ := KaplanMeier(obsList(1, 3))
+	// RMST to tau=3: 1*1 + 0.5*2 = 2.
+	if got := RestrictedMeanSurvival(curve, 3); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("RMST(3) = %v, want 2", got)
+	}
+	// RMST to tau=2: 1*1 + 0.5*1 = 1.5.
+	if got := RestrictedMeanSurvival(curve, 2); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("RMST(2) = %v, want 1.5", got)
+	}
+	// RMST beyond the last event stays flat (survival 0 contributes
+	// nothing).
+	if got := RestrictedMeanSurvival(curve, 100); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("RMST(100) = %v, want 2", got)
+	}
+}
+
+// Survival curves are non-increasing and within [0, 1].
+func TestKaplanMeierMonotone(t *testing.T) {
+	obs := []Observation{
+		{Duration: 3}, {Duration: 1, Censored: true}, {Duration: 7},
+		{Duration: 2}, {Duration: 7, Censored: true}, {Duration: 10},
+		{Duration: 4}, {Duration: 4},
+	}
+	curve, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, pt := range curve {
+		if pt.Survival > prev+1e-12 || pt.Survival < 0 || pt.Survival > 1 {
+			t.Errorf("non-monotone survival at %v: %v after %v", pt.Time, pt.Survival, prev)
+		}
+		prev = pt.Survival
+	}
+}
+
+func TestNelsonAalenNoCensoring(t *testing.T) {
+	// Events at 1, 2, 3: H = 1/3, then +1/2, then +1/1.
+	curve, err := NelsonAalen(obsList(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0 / 3, 1.0/3 + 1.0/2, 1.0/3 + 1.0/2 + 1}
+	if len(curve) != 3 {
+		t.Fatalf("curve = %+v", curve)
+	}
+	for i, pt := range curve {
+		if !almostEqual(pt.CumulativeHazard, want[i], 1e-12) {
+			t.Errorf("H(%v) = %v, want %v", pt.Time, pt.CumulativeHazard, want[i])
+		}
+	}
+}
+
+func TestNelsonAalenWithCensoring(t *testing.T) {
+	obs := []Observation{
+		{Duration: 1},
+		{Duration: 2, Censored: true},
+		{Duration: 3},
+	}
+	curve, err := NelsonAalen(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H(1) = 1/3; the censored unit leaves, so H(3) = 1/3 + 1/1.
+	if len(curve) != 2 {
+		t.Fatalf("curve = %+v", curve)
+	}
+	if !almostEqual(curve[1].CumulativeHazard, 1.0/3+1, 1e-12) {
+		t.Errorf("H(3) = %v, want 4/3", curve[1].CumulativeHazard)
+	}
+}
+
+func TestNelsonAalenMonotone(t *testing.T) {
+	obs := obsList(5, 1, 3, 3, 8, 2, 9, 4)
+	curve, err := NelsonAalen(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, pt := range curve {
+		if pt.CumulativeHazard < prev {
+			t.Errorf("hazard decreased at t=%v", pt.Time)
+		}
+		prev = pt.CumulativeHazard
+	}
+	// Exponential-consistency: with no censoring, exp(-H) tracks the KM
+	// survival estimate to within the usual discrete-estimator gap.
+	km, err := KaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range curve {
+		if i >= len(km) {
+			break
+		}
+		sNA := math.Exp(-curve[i].CumulativeHazard)
+		if km[i].Survival > 0 && (sNA < km[i].Survival*0.7 || sNA > km[i].Survival*1.5) {
+			t.Errorf("exp(-H)=%v far from KM %v at t=%v", sNA, km[i].Survival, curve[i].Time)
+		}
+	}
+}
+
+func TestNelsonAalenEmpty(t *testing.T) {
+	if _, err := NelsonAalen(nil); err != ErrEmpty {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+	// All censored: flat zero hazard.
+	curve, err := NelsonAalen([]Observation{{Duration: 5, Censored: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 || curve[0].CumulativeHazard != 0 {
+		t.Errorf("all-censored curve = %+v", curve)
+	}
+}

@@ -1,0 +1,180 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/failures"
+)
+
+// Generate produces a synthetic failure log for the profile. The result is
+// fully determined by (profile, seed): the same inputs always yield the
+// identical log, which keeps every downstream figure reproducible.
+func Generate(p *Profile, seed int64) (*failures.Log, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Independent substreams per generation stage: adding a sampling site
+	// to one stage does not disturb the others.
+	var (
+		rngTimes  = dist.Fork(seed, p.Name+"/times")
+		rngCats   = dist.Fork(seed, p.Name+"/categories")
+		rngTTR    = dist.Fork(seed, p.Name+"/ttr")
+		rngNodes  = dist.Fork(seed, p.Name+"/nodes")
+		rngGPUs   = dist.Fork(seed, p.Name+"/gpus")
+		rngCauses = dist.Fork(seed, p.Name+"/causes")
+	)
+
+	n := p.TotalFailures()
+	times, err := generateTimes(p, n, rngTimes)
+	if err != nil {
+		return nil, err
+	}
+	categories := categoryMultiset(p, rngCats)
+
+	records := make([]failures.Failure, n)
+	for i := range records {
+		records[i] = failures.Failure{
+			ID:       i + 1,
+			System:   p.System,
+			Time:     times[i],
+			Category: categories[i],
+		}
+	}
+
+	if err := assignSoftwareCauses(p, records, rngCauses); err != nil {
+		return nil, err
+	}
+	if err := assignRecoveries(p, records, rngTTR); err != nil {
+		return nil, err
+	}
+	if err := assignNodes(p, records, rngNodes); err != nil {
+		return nil, err
+	}
+	if err := assignGPUs(p, records, rngGPUs); err != nil {
+		return nil, err
+	}
+	return failures.NewLog(p.System, records)
+}
+
+// GenerateBoth produces the Tsubame-2 and Tsubame-3 logs with one seed,
+// the common entry point of the paper-reproduction pipeline.
+func GenerateBoth(seed int64) (t2, t3 *failures.Log, err error) {
+	t2, err = Generate(Tsubame2Profile(), seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: generating Tsubame-2 log: %w", err)
+	}
+	t3, err = Generate(Tsubame3Profile(), seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synth: generating Tsubame-3 log: %w", err)
+	}
+	return t2, t3, nil
+}
+
+// generateTimes draws n failure instants spanning [Start, End]. Gaps
+// follow a Weibull renewal process with the profile's shape (normalizing
+// the cumulative sums onto the window preserves the Weibull family, which
+// is closed under scaling); the normalized positions are then warped
+// through the monthly-intensity map to realize Figure 12's seasonality.
+func generateTimes(p *Profile, n int, rng *rand.Rand) ([]time.Time, error) {
+	w, err := dist.NewWeibull(p.TBFShape, 1)
+	if err != nil {
+		return nil, err
+	}
+	cum := make([]float64, n)
+	for i := 1; i < n; i++ {
+		cum[i] = cum[i-1] + w.Sample(rng)
+	}
+	total := cum[n-1]
+	if !(total > 0) {
+		return nil, fmt.Errorf("synth: degenerate gap sequence")
+	}
+	warp := newSeasonalWarp(p.Start, p.End, p.MonthlyCountWeights)
+	times := make([]time.Time, n)
+	for i := range times {
+		times[i] = warp.At(cum[i] / total)
+	}
+	return times, nil
+}
+
+// categoryMultiset returns the exact category mix in random order.
+func categoryMultiset(p *Profile, rng *rand.Rand) []failures.Category {
+	out := make([]failures.Category, 0, p.TotalFailures())
+	for _, c := range p.Categories {
+		for i := 0; i < c.Count; i++ {
+			out = append(out, c.Category)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// assignSoftwareCauses distributes the exact root-locus mix over the
+// Software-category records (Figure 3).
+func assignSoftwareCauses(p *Profile, records []failures.Failure, rng *rand.Rand) error {
+	if len(p.SoftwareCauses) == 0 {
+		return nil
+	}
+	var causes []failures.SoftwareCause
+	for _, c := range p.SoftwareCauses {
+		for i := 0; i < c.Count; i++ {
+			causes = append(causes, c.Cause)
+		}
+	}
+	rng.Shuffle(len(causes), func(i, j int) { causes[i], causes[j] = causes[j], causes[i] })
+	next := 0
+	for i := range records {
+		cat := records[i].Category
+		if cat != failures.CatSoftware && cat != failures.CatOtherSW {
+			continue
+		}
+		if next >= len(causes) {
+			return fmt.Errorf("synth: more software records than causes (%d)", len(causes))
+		}
+		records[i].SoftwareCause = causes[next]
+		next++
+	}
+	if next != len(causes) {
+		return fmt.Errorf("synth: %d software causes left unassigned", len(causes)-next)
+	}
+	return nil
+}
+
+// assignRecoveries samples each record's time to recovery from its
+// category's truncated log-normal, scaled by the calendar-month multiplier
+// (Figure 11) and clamped to the category cap.
+func assignRecoveries(p *Profile, records []failures.Failure, rng *rand.Rand) error {
+	type sampler struct {
+		d   dist.Distribution
+		cap float64
+	}
+	samplers := make(map[failures.Category]sampler, len(p.Categories))
+	for _, c := range p.Categories {
+		if c.Count == 0 {
+			continue
+		}
+		ln, err := dist.LogNormalFromMoments(c.TTR.MeanHours, c.TTR.MedianHours)
+		if err != nil {
+			return fmt.Errorf("synth: TTR model for %q: %w", c.Category, err)
+		}
+		tr, err := dist.NewTruncated(ln, c.TTR.CapHours)
+		if err != nil {
+			return fmt.Errorf("synth: TTR model for %q: %w", c.Category, err)
+		}
+		samplers[c.Category] = sampler{d: tr, cap: c.TTR.CapHours}
+	}
+	for i := range records {
+		s, ok := samplers[records[i].Category]
+		if !ok {
+			return fmt.Errorf("synth: record %d has category %q outside the profile mix", records[i].ID, records[i].Category)
+		}
+		hours := s.d.Sample(rng) * p.MonthlyTTRMultipliers[records[i].Time.Month()-1]
+		if hours > s.cap {
+			hours = s.cap
+		}
+		records[i].Recovery = time.Duration(hours * float64(time.Hour))
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/failures"
+)
+
+// assignGPUs attaches GPU slot sets to every GPU-related record. GPU-
+// category records draw their simultaneous-involvement size from the
+// profile's Table III distribution, with multi-GPU events placed
+// temporally adjacent to earlier multi-GPU events with probability
+// ClusterFraction (Figure 8); other GPU-related categories (driver,
+// SXM2 cabling) involve a single card. Slot identities follow the
+// profile's per-slot weights (Figure 5).
+func assignGPUs(p *Profile, records []failures.Failure, rng *rand.Rand) error {
+	// records are in chronological order (times were generated sorted), so
+	// positions in gpuIdx are time-ordered too.
+	var gpuIdx []int
+	for i := range records {
+		if records[i].Category == failures.CatGPU {
+			gpuIdx = append(gpuIdx, i)
+		}
+	}
+	sizes, err := involvementSizes(p, len(gpuIdx))
+	if err != nil {
+		return err
+	}
+	assigned := placeInvolvements(p, records, gpuIdx, sizes, rng)
+	for pos, idx := range gpuIdx {
+		slots, err := sampleSlots(p, assigned[pos], rng)
+		if err != nil {
+			return err
+		}
+		records[idx].GPUs = slots
+	}
+	// Non-GPU-category records that still involve a card get one slot.
+	for i := range records {
+		if records[i].Category != failures.CatGPU && records[i].Category.GPURelated() {
+			slots, err := sampleSlots(p, 1, rng)
+			if err != nil {
+				return err
+			}
+			records[i].GPUs = slots
+		}
+	}
+	return nil
+}
+
+// involvementSizes expands the involvement PMF into the exact multiset of
+// per-event involvement sizes for n GPU-category events.
+func involvementSizes(p *Profile, n int) ([]int, error) {
+	counts, err := LargestRemainder(p.GPUInvolvementPMF, n)
+	if err != nil {
+		return nil, fmt.Errorf("synth: involvement apportionment: %w", err)
+	}
+	sizes := make([]int, 0, n)
+	for i, c := range counts {
+		for k := 0; k < c; k++ {
+			sizes = append(sizes, i+1)
+		}
+	}
+	return sizes, nil
+}
+
+// placeInvolvements maps each involvement size onto a position in the
+// time-ordered GPU-event list. Multi-GPU sizes are placed first: with
+// probability ClusterFraction next to an already-placed multi-GPU event
+// (within ClusterWindowHours), otherwise uniformly — this realizes the
+// paper's observation that simultaneous multi-GPU failures arrive in
+// temporal clusters. Returns the size for each position (1 where nothing
+// special was placed).
+func placeInvolvements(p *Profile, records []failures.Failure, gpuIdx []int, sizes []int, rng *rand.Rand) []int {
+	out := make([]int, len(gpuIdx))
+	for i := range out {
+		out[i] = 1
+	}
+	var multiSizes []int
+	for _, s := range sizes {
+		if s >= 2 {
+			multiSizes = append(multiSizes, s)
+		}
+	}
+	rng.Shuffle(len(multiSizes), func(i, j int) { multiSizes[i], multiSizes[j] = multiSizes[j], multiSizes[i] })
+
+	taken := make([]bool, len(gpuIdx))
+	var placed []int // positions already holding multi-GPU events
+	free := func() []int {
+		var f []int
+		for i, t := range taken {
+			if !t {
+				f = append(f, i)
+			}
+		}
+		return f
+	}
+	for _, size := range multiSizes {
+		pos := -1
+		if len(placed) > 0 && rng.Float64() < p.ClusterFraction {
+			anchor := placed[rng.Intn(len(placed))]
+			pos = nearestFreeWithin(records, gpuIdx, taken, anchor, p.ClusterWindowHours)
+		}
+		if pos < 0 {
+			candidates := free()
+			if len(candidates) == 0 {
+				break
+			}
+			pos = candidates[rng.Intn(len(candidates))]
+		}
+		taken[pos] = true
+		out[pos] = size
+		placed = append(placed, pos)
+	}
+	return out
+}
+
+// nearestFreeWithin finds the free GPU-event position closest in time to
+// anchor and within the cluster window, or -1 if none exists.
+func nearestFreeWithin(records []failures.Failure, gpuIdx []int, taken []bool, anchor int, windowHours float64) int {
+	anchorTime := records[gpuIdx[anchor]].Time
+	best, bestGap := -1, math.Inf(1)
+	// Scan outward from the anchor; positions are time-ordered so the
+	// first free hit on each side is the nearest on that side.
+	for offset := 1; offset < len(gpuIdx); offset++ {
+		improved := false
+		for _, pos := range []int{anchor - offset, anchor + offset} {
+			if pos < 0 || pos >= len(gpuIdx) || taken[pos] {
+				continue
+			}
+			gap := math.Abs(records[gpuIdx[pos]].Time.Sub(anchorTime).Hours())
+			if gap <= windowHours && gap < bestGap {
+				best, bestGap = pos, gap
+				improved = true
+			}
+		}
+		if best >= 0 && !improved {
+			break
+		}
+	}
+	return best
+}
+
+// sampleSlots draws k distinct GPU slots weighted by the profile's slot
+// weights.
+func sampleSlots(p *Profile, k int, rng *rand.Rand) ([]int, error) {
+	nSlots := len(p.GPUSlotWeights)
+	if k > nSlots {
+		return nil, fmt.Errorf("synth: cannot involve %d GPUs with %d slots", k, nSlots)
+	}
+	weights := append([]float64(nil), p.GPUSlotWeights...)
+	slots := make([]int, 0, k)
+	for len(slots) < k {
+		var total float64
+		for _, w := range weights {
+			total += w
+		}
+		u := rng.Float64() * total
+		var cum float64
+		pick := -1
+		for i, w := range weights {
+			if w == 0 {
+				continue
+			}
+			cum += w
+			if u <= cum {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 { // numeric edge: take the last positive weight
+			for i := nSlots - 1; i >= 0; i-- {
+				if weights[i] > 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		slots = append(slots, pick)
+		weights[pick] = 0
+	}
+	return slots, nil
+}

@@ -1,0 +1,36 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteProfile serializes a profile as indented JSON so operators can
+// start from a built-in calibration, edit the constants for their own
+// machine, and feed the file back to the generator.
+func WriteProfile(w io.Writer, p *Profile) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("synth: refusing to write invalid profile: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("synth: encoding profile: %w", err)
+	}
+	return nil
+}
+
+// ReadProfile parses and validates a JSON profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("synth: decoding profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

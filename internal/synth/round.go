@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LargestRemainder apportions total integer units across the given
+// non-negative weights using the largest-remainder (Hamilton) method, so
+// the returned counts sum exactly to total and deviate from the exact
+// proportions by less than one unit each. Ties in remainder break toward
+// lower index, keeping the result deterministic.
+func LargestRemainder(weights []float64, total int) ([]int, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("synth: cannot apportion negative total %d", total)
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("synth: weight %d is negative (%v)", i, w)
+		}
+		sum += w
+	}
+	counts := make([]int, len(weights))
+	if total == 0 {
+		return counts, nil
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("synth: cannot apportion %d units across all-zero weights", total)
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	remainders := make([]frac, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := w / sum * float64(total)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		remainders[i] = frac{idx: i, rem: exact - float64(counts[i])}
+	}
+	sort.SliceStable(remainders, func(a, b int) bool { return remainders[a].rem > remainders[b].rem })
+	for i := 0; i < total-assigned; i++ {
+		counts[remainders[i%len(remainders)].idx]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,68 @@
+package synth
+
+import (
+	"time"
+)
+
+// monthSegment is one calendar month (or partial month at the window
+// edges) with its share of the total failure intensity.
+type monthSegment struct {
+	start   time.Time
+	hours   float64
+	cumMass float64 // cumulative normalized intensity mass at segment end
+}
+
+// seasonalWarp maps uniform positions in [0, 1] to calendar times in
+// [start, end] such that the density of mapped points in each calendar
+// month is proportional to that month's weight. It implements Figure 12's
+// monthly failure-count variation without disturbing the overall count.
+type seasonalWarp struct {
+	segments []monthSegment
+	start    time.Time
+	end      time.Time
+}
+
+// newSeasonalWarp builds the warp for the window [start, end) with the
+// given January..December weights.
+func newSeasonalWarp(start, end time.Time, weights [12]float64) *seasonalWarp {
+	w := &seasonalWarp{start: start, end: end}
+	var totalMass float64
+	cursor := start
+	for cursor.Before(end) {
+		next := time.Date(cursor.Year(), cursor.Month(), 1, 0, 0, 0, 0, time.UTC).AddDate(0, 1, 0)
+		if next.After(end) {
+			next = end
+		}
+		hours := next.Sub(cursor).Hours()
+		weight := weights[cursor.Month()-1]
+		if weight <= 0 {
+			weight = 1e-6 // degenerate profiles still cover the window
+		}
+		totalMass += hours * weight
+		w.segments = append(w.segments, monthSegment{start: cursor, hours: hours, cumMass: totalMass})
+		cursor = next
+	}
+	for i := range w.segments {
+		w.segments[i].cumMass /= totalMass
+	}
+	return w
+}
+
+// At maps u in [0, 1] to a time in [start, end].
+func (w *seasonalWarp) At(u float64) time.Time {
+	if u <= 0 {
+		return w.start
+	}
+	if u >= 1 {
+		return w.end
+	}
+	prevCum := 0.0
+	for _, seg := range w.segments {
+		if u <= seg.cumMass {
+			frac := (u - prevCum) / (seg.cumMass - prevCum)
+			return seg.start.Add(time.Duration(frac * seg.hours * float64(time.Hour)))
+		}
+		prevCum = seg.cumMass
+	}
+	return w.end
+}

@@ -1,0 +1,160 @@
+// Package trace serializes failure logs to and from portable formats (CSV
+// and NDJSON) so analyses can run over externally supplied logs — the real
+// Tsubame logs, were they available, would be converted to this schema.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/failures"
+)
+
+// csvHeader is the canonical column order of the CSV schema.
+var csvHeader = []string{"id", "system", "time", "recovery_hours", "category", "node", "gpus", "software_cause"}
+
+// WriteCSV writes the log to w in the canonical CSV schema, one row per
+// record plus a header row. Times are RFC 3339 in UTC; recovery is decimal
+// hours; GPU slots are semicolon-separated.
+func WriteCSV(w io.Writer, log *failures.Log) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, r := range log.Records() {
+		row := []string{
+			strconv.Itoa(r.ID),
+			r.System.String(),
+			r.Time.UTC().Format(time.RFC3339),
+			strconv.FormatFloat(r.Recovery.Hours(), 'f', 4, 64),
+			string(r.Category),
+			r.Node,
+			joinGPUs(r.GPUs),
+			string(r.SoftwareCause),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a failure log in the canonical CSV schema. All records
+// must belong to the same system; the log is validated and time-sorted.
+func ReadCSV(r io.Reader) (*failures.Log, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var (
+		records []failures.Failure
+		system  failures.System
+	)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		if system == 0 {
+			system = rec.System
+		}
+		records = append(records, rec)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: CSV contains no records")
+	}
+	log, err := failures.NewLog(system, records)
+	if err != nil {
+		return nil, fmt.Errorf("trace: validating CSV log: %w", err)
+	}
+	return log, nil
+}
+
+func parseRow(row []string) (failures.Failure, error) {
+	id, err := strconv.Atoi(row[0])
+	if err != nil {
+		return failures.Failure{}, fmt.Errorf("bad id %q: %w", row[0], err)
+	}
+	system, err := failures.ParseSystem(row[1])
+	if err != nil {
+		return failures.Failure{}, err
+	}
+	t, err := time.Parse(time.RFC3339, row[2])
+	if err != nil {
+		return failures.Failure{}, fmt.Errorf("bad time %q: %w", row[2], err)
+	}
+	hours, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return failures.Failure{}, fmt.Errorf("bad recovery_hours %q: %w", row[3], err)
+	}
+	if hours < 0 {
+		return failures.Failure{}, fmt.Errorf("negative recovery_hours %v", hours)
+	}
+	category, err := failures.ParseCategory(system, row[4])
+	if err != nil {
+		return failures.Failure{}, err
+	}
+	gpus, err := splitGPUs(row[6])
+	if err != nil {
+		return failures.Failure{}, err
+	}
+	return failures.Failure{
+		ID:            id,
+		System:        system,
+		Time:          t,
+		Recovery:      time.Duration(hours * float64(time.Hour)),
+		Category:      category,
+		Node:          row[5],
+		GPUs:          gpus,
+		SoftwareCause: failures.SoftwareCause(row[7]),
+	}, nil
+}
+
+func joinGPUs(gpus []int) string {
+	if len(gpus) == 0 {
+		return ""
+	}
+	parts := make([]string, len(gpus))
+	for i, g := range gpus {
+		parts[i] = strconv.Itoa(g)
+	}
+	return strings.Join(parts, ";")
+}
+
+func splitGPUs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	gpus := make([]int, len(parts))
+	for i, p := range parts {
+		g, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad gpus field %q: %w", s, err)
+		}
+		gpus[i] = g
+	}
+	return gpus, nil
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/failures"
+)
+
+// jsonRecord is the NDJSON wire form of one failure record.
+type jsonRecord struct {
+	ID            int       `json:"id"`
+	System        string    `json:"system"`
+	Time          time.Time `json:"time"`
+	RecoveryHours float64   `json:"recovery_hours"`
+	Category      string    `json:"category"`
+	Node          string    `json:"node,omitempty"`
+	GPUs          []int     `json:"gpus,omitempty"`
+	SoftwareCause string    `json:"software_cause,omitempty"`
+}
+
+// WriteNDJSON writes the log as newline-delimited JSON, one record per
+// line.
+func WriteNDJSON(w io.Writer, log *failures.Log) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range log.Records() {
+		rec := jsonRecord{
+			ID:            r.ID,
+			System:        r.System.String(),
+			Time:          r.Time.UTC(),
+			RecoveryHours: r.Recovery.Hours(),
+			Category:      string(r.Category),
+			Node:          r.Node,
+			GPUs:          r.GPUs,
+			SoftwareCause: string(r.SoftwareCause),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("trace: encoding record %d: %w", r.ID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing NDJSON: %w", err)
+	}
+	return nil
+}
+
+// ReadNDJSON parses a newline-delimited JSON failure log. Blank lines are
+// skipped; the result is validated and time-sorted.
+func ReadNDJSON(r io.Reader) (*failures.Log, error) {
+	dec := json.NewDecoder(r)
+	var (
+		records []failures.Failure
+		system  failures.System
+	)
+	for line := 1; ; line++ {
+		var rec jsonRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding NDJSON record %d: %w", line, err)
+		}
+		sys, err := failures.ParseSystem(rec.System)
+		if err != nil {
+			return nil, fmt.Errorf("trace: NDJSON record %d: %w", line, err)
+		}
+		category, err := failures.ParseCategory(sys, rec.Category)
+		if err != nil {
+			return nil, fmt.Errorf("trace: NDJSON record %d: %w", line, err)
+		}
+		if rec.RecoveryHours < 0 {
+			return nil, fmt.Errorf("trace: NDJSON record %d: negative recovery_hours %v", line, rec.RecoveryHours)
+		}
+		if system == 0 {
+			system = sys
+		}
+		records = append(records, failures.Failure{
+			ID:            rec.ID,
+			System:        sys,
+			Time:          rec.Time,
+			Recovery:      time.Duration(rec.RecoveryHours * float64(time.Hour)),
+			Category:      category,
+			Node:          rec.Node,
+			GPUs:          rec.GPUs,
+			SoftwareCause: failures.SoftwareCause(rec.SoftwareCause),
+		})
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: NDJSON contains no records")
+	}
+	log, err := failures.NewLog(system, records)
+	if err != nil {
+		return nil, fmt.Errorf("trace: validating NDJSON log: %w", err)
+	}
+	return log, nil
+}

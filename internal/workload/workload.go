@@ -1,0 +1,237 @@
+// Package workload models the application side of the study: a synthetic
+// job-trace generator and the attribution analysis behind the paper's
+// scope note that "we did not find any particular application
+// experiencing noticeably more failures than its proportional share of
+// computational resource usage". The generator produces application
+// resource shares; the analysis attributes failures to applications and
+// tests proportionality with a chi-square statistic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/failures"
+	"repro/internal/stats"
+)
+
+// Application is one application's share of machine usage over the log
+// window.
+type Application struct {
+	Name string
+	// NodeHours is the application's consumed node-hours.
+	NodeHours float64
+}
+
+// Trace is a synthetic usage trace: applications with their consumed
+// node-hours, summing to the machine's delivered capacity.
+type Trace struct {
+	Applications []Application
+}
+
+// TotalNodeHours returns the trace's total consumption.
+func (t *Trace) TotalNodeHours() float64 {
+	var sum float64
+	for _, a := range t.Applications {
+		sum += a.NodeHours
+	}
+	return sum
+}
+
+// GenerateTrace synthesizes an application mix with a Zipf-like skew
+// (typical HPC centers: a few hero applications dominate). apps is the
+// application count; totalNodeHours the capacity to distribute; skew >= 0
+// controls concentration (0 = uniform).
+func GenerateTrace(apps int, totalNodeHours, skew float64, seed int64) (*Trace, error) {
+	if apps < 1 {
+		return nil, fmt.Errorf("workload: need at least one application, got %d", apps)
+	}
+	if !(totalNodeHours > 0) {
+		return nil, fmt.Errorf("workload: total node-hours must be positive, got %v", totalNodeHours)
+	}
+	if skew < 0 {
+		return nil, fmt.Errorf("workload: negative skew %v", skew)
+	}
+	rng := dist.Fork(seed, "workload/trace")
+	weights := make([]float64, apps)
+	var total float64
+	for i := range weights {
+		// Zipf-like rank weight with multiplicative noise.
+		w := 1.0
+		if skew > 0 {
+			w = 1.0 / math.Pow(float64(i+1), skew)
+		}
+		w *= 0.5 + rng.Float64()
+		weights[i] = w
+		total += w
+	}
+	tr := &Trace{Applications: make([]Application, apps)}
+	for i, w := range weights {
+		tr.Applications[i] = Application{
+			Name:      fmt.Sprintf("app-%03d", i),
+			NodeHours: totalNodeHours * w / total,
+		}
+	}
+	return tr, nil
+}
+
+// Attribution is the outcome of attributing a failure log to a usage
+// trace.
+type Attribution struct {
+	// Rows pair each application with its usage share and attributed
+	// failures, sorted by descending usage.
+	Rows []AttributionRow
+	// ChiSquare and P test the null hypothesis that failures follow usage
+	// proportionally; a large P supports the paper's scope note.
+	ChiSquare float64
+	P         float64
+	// MaxExcessRatio is the largest attributed/expected failure ratio of
+	// any application with at least minExpected expected failures.
+	MaxExcessRatio float64
+}
+
+// AttributionRow is one application's line of the analysis.
+type AttributionRow struct {
+	Name       string
+	UsageShare float64
+	Failures   int
+	Expected   float64
+}
+
+// minExpected is the smallest expected count considered for the excess
+// ratio (chi-square cells below ~5 are unstable, the classic rule).
+const minExpected = 5.0
+
+// Attribute assigns each node-attributable failure to an application with
+// probability proportional to usage (the null model of the paper's scope
+// note, with optional per-application multipliers for what-if tests), then
+// tests proportionality against the trace.
+//
+// multipliers maps application names to failure-propensity multipliers
+// (1.0 = proportional; missing = 1.0). Passing a non-trivial multiplier
+// simulates a "failure-prone application" and lets tests verify the
+// analysis detects it.
+func Attribute(log *failures.Log, trace *Trace, multipliers map[string]float64, seed int64) (*Attribution, error) {
+	if trace == nil || len(trace.Applications) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	var attributable int
+	for _, r := range log.Records() {
+		if r.Node != "" {
+			attributable++
+		}
+	}
+	if attributable == 0 {
+		return nil, fmt.Errorf("workload: log has no node-attributable failures")
+	}
+	total := trace.TotalNodeHours()
+	if !(total > 0) {
+		return nil, fmt.Errorf("workload: trace has no usage")
+	}
+
+	// Sampling weights: usage share times the propensity multiplier.
+	weights := make([]float64, len(trace.Applications))
+	var weightSum float64
+	for i, app := range trace.Applications {
+		m := 1.0
+		if multipliers != nil {
+			if v, ok := multipliers[app.Name]; ok {
+				if v < 0 {
+					return nil, fmt.Errorf("workload: negative multiplier for %q", app.Name)
+				}
+				m = v
+			}
+		}
+		weights[i] = app.NodeHours / total * m
+		weightSum += weights[i]
+	}
+	if weightSum <= 0 {
+		return nil, fmt.Errorf("workload: all attribution weights are zero")
+	}
+
+	rng := dist.Fork(seed, "workload/attribute")
+	counts := make([]int, len(trace.Applications))
+	for n := 0; n < attributable; n++ {
+		u := rng.Float64() * weightSum
+		var cum float64
+		pick := len(weights) - 1
+		for i, w := range weights {
+			cum += w
+			if u <= cum {
+				pick = i
+				break
+			}
+		}
+		counts[pick]++
+	}
+
+	att := &Attribution{Rows: make([]AttributionRow, len(trace.Applications))}
+	expected := make([]float64, len(trace.Applications))
+	for i, app := range trace.Applications {
+		share := app.NodeHours / total
+		expected[i] = share * float64(attributable)
+		att.Rows[i] = AttributionRow{
+			Name:       app.Name,
+			UsageShare: share,
+			Failures:   counts[i],
+			Expected:   expected[i],
+		}
+	}
+	sort.Slice(att.Rows, func(i, j int) bool { return att.Rows[i].UsageShare > att.Rows[j].UsageShare })
+
+	// Chi-square over applications with adequate expected counts; the
+	// tail is pooled into one cell.
+	var obs []int
+	var exp []float64
+	var pooledObs int
+	var pooledExp float64
+	for i := range expected {
+		if expected[i] >= minExpected {
+			obs = append(obs, counts[i])
+			exp = append(exp, expected[i])
+		} else {
+			pooledObs += counts[i]
+			pooledExp += expected[i]
+		}
+	}
+	if pooledExp > 0 {
+		obs = append(obs, pooledObs)
+		exp = append(exp, pooledExp)
+	}
+	if len(obs) >= 2 {
+		chi, p, err := stats.ChiSquare(obs, exp)
+		if err != nil {
+			return nil, err
+		}
+		att.ChiSquare, att.P = chi, p
+	} else {
+		att.P = 1
+	}
+
+	for _, row := range att.Rows {
+		if row.Expected >= minExpected {
+			ratio := float64(row.Failures) / row.Expected
+			if ratio > att.MaxExcessRatio {
+				att.MaxExcessRatio = ratio
+			}
+		}
+	}
+	return att, nil
+}
+
+// WindowFor derives a plausible capacity figure for a trace from a log:
+// fleet nodes times the log span, damped by a utilization factor.
+func WindowFor(log *failures.Log, nodes int, utilization float64) (float64, error) {
+	if nodes < 1 {
+		return 0, fmt.Errorf("workload: need at least one node, got %d", nodes)
+	}
+	if utilization <= 0 || utilization > 1 {
+		return 0, fmt.Errorf("workload: utilization %v outside (0, 1]", utilization)
+	}
+	if log.Len() == 0 {
+		return 0, fmt.Errorf("workload: empty log")
+	}
+	return float64(nodes) * log.Span().Hours() * utilization, nil
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestGenerateTraceValidation(t *testing.T) {
+	if _, err := GenerateTrace(0, 100, 1, 1); err == nil {
+		t.Error("zero apps should fail")
+	}
+	if _, err := GenerateTrace(5, 0, 1, 1); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := GenerateTrace(5, 100, -1, 1); err == nil {
+		t.Error("negative skew should fail")
+	}
+}
+
+func TestGenerateTraceConservesCapacity(t *testing.T) {
+	tr, err := GenerateTrace(40, 1e6, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Applications) != 40 {
+		t.Fatalf("%d applications", len(tr.Applications))
+	}
+	if math.Abs(tr.TotalNodeHours()-1e6) > 1 {
+		t.Errorf("total = %v, want 1e6", tr.TotalNodeHours())
+	}
+	for _, app := range tr.Applications {
+		if app.NodeHours <= 0 {
+			t.Errorf("%s has non-positive usage", app.Name)
+		}
+	}
+}
+
+func TestGenerateTraceSkew(t *testing.T) {
+	flat, err := GenerateTrace(50, 1e6, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := GenerateTrace(50, 1e6, 1.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxShare(skewed) <= maxShare(flat) {
+		t.Errorf("skewed max share %v should exceed flat %v", maxShare(skewed), maxShare(flat))
+	}
+}
+
+func maxShare(tr *Trace) float64 {
+	total := tr.TotalNodeHours()
+	var m float64
+	for _, a := range tr.Applications {
+		if s := a.NodeHours / total; s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	a, _ := GenerateTrace(10, 1000, 1, 5)
+	b, _ := GenerateTrace(10, 1000, 1, 5)
+	for i := range a.Applications {
+		if a.Applications[i] != b.Applications[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestAttributeProportionalIsUnflagged(t *testing.T) {
+	// Under the null model the chi-square test should usually pass: the
+	// paper's scope note ("no application exceeds its share") holds by
+	// construction.
+	log, err := synth.Generate(synth.Tsubame2Profile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(30, 1e6, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := Attribute(log, tr, nil, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.P < 0.01 {
+		t.Errorf("proportional attribution rejected with p = %v", att.P)
+	}
+	if att.MaxExcessRatio > 2 {
+		t.Errorf("max excess ratio = %v under the null, want near 1", att.MaxExcessRatio)
+	}
+	// Rows are sorted by usage and cover all failures.
+	var total int
+	prev := math.Inf(1)
+	for _, row := range att.Rows {
+		if row.UsageShare > prev {
+			t.Error("rows not sorted by descending usage")
+		}
+		prev = row.UsageShare
+		total += row.Failures
+	}
+	attributable := 0
+	for _, r := range log.Records() {
+		if r.Node != "" {
+			attributable++
+		}
+	}
+	if total != attributable {
+		t.Errorf("attributed %d failures, log has %d node-attributable", total, attributable)
+	}
+}
+
+func TestAttributeDetectsFailureProneApp(t *testing.T) {
+	log, err := synth.Generate(synth.Tsubame2Profile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(30, 1e6, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One mid-sized application fails 8x its share.
+	culprit := tr.Applications[3].Name
+	att, err := Attribute(log, tr, map[string]float64{culprit: 8}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.P > 1e-4 {
+		t.Errorf("failure-prone app not detected: p = %v", att.P)
+	}
+	if att.MaxExcessRatio < 2 {
+		t.Errorf("max excess ratio = %v, want clearly above 1", att.MaxExcessRatio)
+	}
+}
+
+func TestAttributeErrors(t *testing.T) {
+	log, err := synth.Generate(synth.Tsubame2Profile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attribute(log, nil, nil, 1); err == nil {
+		t.Error("nil trace should fail")
+	}
+	tr, _ := GenerateTrace(3, 100, 0, 1)
+	if _, err := Attribute(log, tr, map[string]float64{"app-000": -1}, 1); err == nil {
+		t.Error("negative multiplier should fail")
+	}
+}
+
+func TestWindowFor(t *testing.T) {
+	log, err := synth.Generate(synth.Tsubame2Profile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh, err := WindowFor(log, 1408, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~13700 h x 1408 x 0.8 ~ 1.5e7.
+	if nh < 1e7 || nh > 2e7 {
+		t.Errorf("node-hours = %v, want ~1.5e7", nh)
+	}
+	if _, err := WindowFor(log, 0, 0.8); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := WindowFor(log, 10, 1.5); err == nil {
+		t.Error("utilization above 1 should fail")
+	}
+}

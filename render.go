@@ -1,0 +1,87 @@
+package tsubame
+
+import (
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// RenderFullReport renders every table and figure of the paper, in paper
+// order, from a cross-generation comparison.
+func RenderFullReport(cmp *Comparison) string { return report.FullReport(cmp) }
+
+// RenderTableI renders the node-configuration table.
+func RenderTableI() string { return report.TableI() }
+
+// RenderTableII renders the failure-category taxonomies.
+func RenderTableII() string { return report.TableII() }
+
+// RenderTableIII renders the multi-GPU involvement table.
+func RenderTableIII(cmp *Comparison) string { return report.TableIII(cmp.Old, cmp.New) }
+
+// RenderFigure renders one numbered figure (2-5, 7, 8, 10-12) for a single
+// system's study; figures 6 and 9 compare systems, use RenderComparisonFigure.
+func RenderFigure(n int, s *Study) string {
+	switch n {
+	case 2:
+		return report.Fig2(s)
+	case 3:
+		return report.Fig3(s)
+	case 4:
+		return report.Fig4(s)
+	case 5:
+		return report.Fig5(s)
+	case 7:
+		return report.Fig7(s)
+	case 8:
+		return report.Fig8(s)
+	case 10:
+		return report.Fig10(s)
+	case 11:
+		return report.Fig11(s)
+	case 12:
+		return report.Fig12(s)
+	default:
+		return ""
+	}
+}
+
+// RenderComparisonFigure renders one of the two-system figures (6 or 9).
+func RenderComparisonFigure(n int, cmp *Comparison) string {
+	switch n {
+	case 6:
+		return report.Fig6(cmp.Old, cmp.New)
+	case 9:
+		return report.Fig9(cmp.Old, cmp.New)
+	default:
+		return ""
+	}
+}
+
+// RenderSummary renders the headline cross-generation comparison.
+func RenderSummary(cmp *Comparison) string { return report.Summary(cmp) }
+
+// RenderPEP renders the performance-error-proportionality table.
+func RenderPEP(cmp *Comparison) string { return report.PEPTable(cmp) }
+
+// RenderSpatial renders the rack/node failure-concentration extension.
+func RenderSpatial(s *Study) string { return report.SpatialTable(s) }
+
+// RenderSurvival renders the per-card Kaplan-Meier survival extension.
+func RenderSurvival(cmp *Comparison) string { return report.SurvivalTable(cmp.Old, cmp.New) }
+
+// RenderRollingMTBF renders a rolling-MTBF series.
+func RenderRollingMTBF(title string, series []WindowMTBF) string {
+	return report.RollingChart(title, series)
+}
+
+// RenderMarkdownReport renders the cross-generation study as a markdown
+// document (tables only; plot-shaped figures become statistics tables).
+func RenderMarkdownReport(cmp *Comparison) string { return report.MarkdownReport(cmp) }
+
+// RenderDrift renders the cross-generation category-share drift table.
+func RenderDrift(cmp *Comparison) string { return report.DriftTable(cmp) }
+
+// RenderTTRSignificance renders the one-vs-rest recovery-time test table.
+func RenderTTRSignificance(system string, rows []core.TTRSignificance) string {
+	return report.SignificanceTable(system, rows)
+}

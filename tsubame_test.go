@@ -1,0 +1,215 @@
+package tsubame_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	tsubame "repro"
+)
+
+// TestEndToEndReproduction is the integration test of the whole pipeline:
+// generate -> serialize -> parse -> analyze -> compare -> render, checking
+// the paper's headline claims hold through every layer.
+func TestEndToEndReproduction(t *testing.T) {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip both logs through the CSV schema.
+	var buf bytes.Buffer
+	if err := tsubame.WriteCSV(&buf, t2); err != nil {
+		t.Fatal(err)
+	}
+	t2back, err := tsubame.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := tsubame.WriteNDJSON(&buf, t3); err != nil {
+		t.Fatal(err)
+	}
+	t3back, err := tsubame.ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmp, err := tsubame.Compare(t2back, t3back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MTBFImprovement < 4 || cmp.MTBFImprovement > 6 {
+		t.Errorf("MTBF improvement = %.2fx, want ~4.7x", cmp.MTBFImprovement)
+	}
+	if cmp.MTTRRatio < 0.85 || cmp.MTTRRatio > 1.2 {
+		t.Errorf("MTTR ratio = %.2f, want ~1", cmp.MTTRRatio)
+	}
+
+	rendered := tsubame.RenderFullReport(cmp)
+	for _, want := range []string{
+		"Table I.", "Table II.", "Table III.",
+		"Figure 2.", "Figure 3.", "Figure 4.", "Figure 5.", "Figure 6.",
+		"Figure 7.", "Figure 8.", "Figure 9.", "Figure 10.", "Figure 11.",
+		"Figure 12.", "Performance-error-proportionality",
+		"Cross-generation summary",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("full report missing %q", want)
+		}
+	}
+}
+
+func TestGenerateLogPerSystem(t *testing.T) {
+	for _, sys := range []tsubame.System{tsubame.Tsubame2, tsubame.Tsubame3} {
+		log, err := tsubame.GenerateLog(sys, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if log.System() != sys {
+			t.Errorf("GenerateLog(%v) produced %v", sys, log.System())
+		}
+	}
+	if _, err := tsubame.GenerateLog(tsubame.System(0), 1); err == nil {
+		t.Error("invalid system should fail")
+	}
+}
+
+func TestGenerateFromCustomProfile(t *testing.T) {
+	p := tsubame.Tsubame2Profile()
+	p.Categories = p.Categories[:5] // smaller custom mix
+	log, err := tsubame.GenerateFromProfile(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != p.TotalFailures() {
+		t.Errorf("custom profile log has %d records, want %d", log.Len(), p.TotalFailures())
+	}
+	// The built-in profile getters return fresh copies: mutating p must
+	// not have touched the canonical calibration.
+	if tsubame.Tsubame2Profile().TotalFailures() != 897 {
+		t.Error("profile mutation leaked into the built-in calibration")
+	}
+}
+
+func TestMachineFor(t *testing.T) {
+	m, err := tsubame.MachineFor(tsubame.Tsubame3)
+	if err != nil || m.Nodes != 540 {
+		t.Errorf("MachineFor = %+v, %v", m, err)
+	}
+}
+
+func TestRenderFigureDispatch(t *testing.T) {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := tsubame.Compare(t2, t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 10, 11, 12} {
+		if tsubame.RenderFigure(n, cmp.New) == "" {
+			t.Errorf("RenderFigure(%d) empty", n)
+		}
+	}
+	if tsubame.RenderFigure(99, cmp.New) != "" {
+		t.Error("unknown figure should render empty")
+	}
+	for _, n := range []int{6, 9} {
+		if tsubame.RenderComparisonFigure(n, cmp) == "" {
+			t.Errorf("RenderComparisonFigure(%d) empty", n)
+		}
+	}
+	if tsubame.RenderComparisonFigure(2, cmp) != "" {
+		t.Error("single-system figure via comparison renderer should be empty")
+	}
+	if tsubame.RenderTableI() == "" || tsubame.RenderTableII() == "" ||
+		tsubame.RenderTableIII(cmp) == "" || tsubame.RenderPEP(cmp) == "" {
+		t.Error("table renderers returned empty output")
+	}
+}
+
+func TestSimulationFacade(t *testing.T) {
+	log, err := tsubame.GenerateLog(tsubame.Tsubame2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := tsubame.FitProcesses(log, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := tsubame.PredictiveSpares(0.3, 72, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tsubame.RunSimulation(tsubame.SimConfig{
+		Nodes: 1408, GPUsPerNode: 3, HorizonHours: 4000, Processes: procs, Crews: 8,
+		Parts: parts, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 || res.Availability <= 0.5 {
+		t.Errorf("simulation result = %+v", res)
+	}
+	if _, err := tsubame.FixedSpares(-1, 10); err == nil {
+		t.Error("invalid fixed spares should fail")
+	}
+	if _, err := tsubame.PredictiveSpares(5, 10, 1); err == nil {
+		t.Error("invalid alpha should fail")
+	}
+}
+
+func TestCheckpointFacade(t *testing.T) {
+	m := tsubame.CheckpointModel{CheckpointCostHours: 0.1, RestartCostHours: 0.2, MTBFHours: 15.3}
+	d, err := tsubame.ExponentialDist(m.MTBFHours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := tsubame.SimulateCheckpointEfficiency(m, m.OptimalInterval(), d, 50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff < 0.8 || eff > 0.95 {
+		t.Errorf("simulated efficiency = %v, want ~0.88", eff)
+	}
+	if _, err := tsubame.WeibullDistFromMean(0.74, 72.6); err != nil {
+		t.Errorf("WeibullDistFromMean: %v", err)
+	}
+}
+
+func TestBurstyDist(t *testing.T) {
+	d, err := tsubame.BurstyDist(72.6, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Mean(); m < 72.5 || m > 72.7 {
+		t.Errorf("bursty mean = %v, want 72.6", m)
+	}
+	// Hyperexponential: variance strictly above the exponential's.
+	if d.Var() <= 72.6*72.6 {
+		t.Errorf("bursty variance = %v, want above exponential %v", d.Var(), 72.6*72.6)
+	}
+	for _, bad := range []struct{ mean, frac, burst float64 }{
+		{72, 0, 5}, {72, 1, 5}, {72, 0.5, 0}, {5, 0.9, 10},
+	} {
+		if _, err := tsubame.BurstyDist(bad.mean, bad.frac, bad.burst); err == nil {
+			t.Errorf("BurstyDist(%v) should fail", bad)
+		}
+	}
+}
+
+func TestLocalityPredictorFacade(t *testing.T) {
+	log, err := tsubame.GenerateLog(tsubame.Tsubame2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := tsubame.EvaluateLocalityPredictor(log, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Recall() <= 0 || ev.Recall() > 1 {
+		t.Errorf("recall = %v", ev.Recall())
+	}
+}
