@@ -1,0 +1,47 @@
+# Make targets mirror the CI workflow (.github/workflows/ci.yml): the
+# `ci` target reproduces every blocking CI step locally, so a green
+# `make ci` predicts a green PR.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke vet lint ci clean
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## vet: static analysis via go vet
+vet:
+	$(GO) vet ./...
+
+## test: the tier-1 test suite
+test:
+	$(GO) test ./...
+
+## race: the full test suite under the race detector (certifies the
+## parallel analysis engine)
+race:
+	$(GO) test -race ./...
+
+## bench: full benchmark battery with memory stats (regenerates the
+## paper's tables/figures as metrics; slow)
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+## bench-smoke: every benchmark exactly once, machine-readable; a
+## panicking or hanging benchmark fails this target. Produces
+## BENCH_ci.json for the CI artifact.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -json ./... | tee BENCH_ci.json
+
+## lint: golangci-lint if installed (non-blocking in CI; optional locally)
+lint:
+	@command -v golangci-lint >/dev/null 2>&1 \
+		&& golangci-lint run ./... \
+		|| echo "golangci-lint not installed; skipping (CI runs it non-blocking)"
+
+## ci: every blocking CI step, in CI's order
+ci: build vet test race bench-smoke
+
+clean:
+	rm -f BENCH_ci.json

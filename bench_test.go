@@ -10,6 +10,7 @@
 package tsubame_test
 
 import (
+	"runtime"
 	"testing"
 
 	tsubame "repro"
@@ -489,6 +490,136 @@ func BenchmarkFullStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Parallel analysis engine (internal/parallel substrate) ---
+//
+// Each BenchmarkParallel* below has a sequential counterpart; on a
+// GOMAXPROCS >= 4 runner the parallel variant is expected to run >= 1.5x
+// faster. Every variant reports its pool width so CI artifacts record
+// the hardware the numbers came from.
+
+// benchSeeds is the multi-seed/multi-trial work list of the fan-out
+// benchmarks: enough independent units to saturate a typical CI runner.
+var benchSeeds = []int64{42, 43, 44, 45, 46, 47, 48, 49}
+
+// BenchmarkFullStudySequential is BenchmarkFullStudy under its explicit
+// sequential name: the baseline of BenchmarkParallelFullStudy.
+func BenchmarkFullStudySequential(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsubame.AnalyzeParallel(t2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "pool_width")
+}
+
+// BenchmarkParallelFullStudy fans the RQ1-RQ5 battery's independent
+// analyses out across every core.
+func BenchmarkParallelFullStudy(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsubame.AnalyzeParallel(t2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "pool_width")
+}
+
+// BenchmarkGenerateSeedsSequential generates the multi-seed batch on one
+// worker: the baseline of BenchmarkParallelGenerateSeeds.
+func BenchmarkGenerateSeedsSequential(b *testing.B) {
+	p := synth.Tsubame2Profile()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.GenerateMany(p, benchSeeds, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "pool_width")
+}
+
+// BenchmarkParallelGenerateSeeds generates the multi-seed batch across
+// every core; generation is embarrassingly parallel, so this is the
+// cleanest >= 1.5x demonstration on a multi-core runner.
+func BenchmarkParallelGenerateSeeds(b *testing.B) {
+	p := synth.Tsubame2Profile()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.GenerateMany(p, benchSeeds, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "pool_width")
+}
+
+// benchTrialConfig builds the multi-trial simulation workload shared by
+// the sequential and parallel trial benchmarks.
+func benchTrialConfig(b *testing.B) tsubame.SimConfig {
+	b.Helper()
+	t2, _ := benchLogs(b)
+	procs, err := sim.ProcessesFromLog(t2, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tsubame.SimConfig{
+		Nodes: 1408, GPUsPerNode: 3, HorizonHours: 4380,
+		Processes: procs, Crews: 8,
+	}
+}
+
+// BenchmarkSimTrialsSequential replays the trial batch on one worker:
+// the baseline of BenchmarkParallelSimTrials.
+func BenchmarkSimTrialsSequential(b *testing.B) {
+	cfg := benchTrialConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrials(cfg, benchSeeds, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "pool_width")
+}
+
+// BenchmarkParallelSimTrials replays the independent trials across every
+// core.
+func BenchmarkParallelSimTrials(b *testing.B) {
+	cfg := benchTrialConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrials(cfg, benchSeeds, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "pool_width")
+}
+
+// BenchmarkRollingMTBFSequential scans fine-grained rolling windows
+// (7-day step over the full Tsubame-2 span) on one worker: the baseline
+// of BenchmarkParallelRollingMTBF.
+func BenchmarkRollingMTBFSequential(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RollingMTBFParallel(t2, 90, 7, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "pool_width")
+}
+
+// BenchmarkParallelRollingMTBF fans the independent window scans out
+// across every core.
+func BenchmarkParallelRollingMTBF(b *testing.B) {
+	t2, _ := benchLogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RollingMTBFParallel(t2, 90, 7, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "pool_width")
 }
 
 func maxOf(rows []core.CategoryDurations, cat failures.Category) float64 {

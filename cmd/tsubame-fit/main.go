@@ -4,6 +4,9 @@
 // modelling companion to tsubame-analyze: its output feeds simulator
 // configurations and capacity-planning spreadsheets.
 //
+// All samples (system-wide and per-category, TBF and TTR) are fitted
+// concurrently on a bounded worker pool; the report order is fixed.
+//
 // Usage:
 //
 //	tsubame-fit -system t2            # fit the synthetic Tsubame-2 log
@@ -30,6 +33,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "synthetic log seed")
 		in         = flag.String("in", "", "input CSV log (default: synthetic)")
 		minCount   = flag.Int("min", 10, "minimum records for a per-category fit")
+		para       = flag.Int("parallel", 0, "fit worker-pool width (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -38,12 +42,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Distribution fits for %v (%d records).\n\n", failureLog.System(), failureLog.Len())
-	fmt.Println("System-wide time between failures:")
-	printFits(failureLog.InterarrivalHours())
-	fmt.Println("\nSystem-wide time to recovery:")
-	printFits(failureLog.RecoveryHours())
-
+	// Assemble every sample first, then fit the whole batch on the pool.
+	titles := []string{
+		"System-wide time between failures",
+		"System-wide time to recovery",
+	}
+	samples := [][]float64{
+		positiveOnly(failureLog.InterarrivalHours()),
+		positiveOnly(failureLog.RecoveryHours()),
+	}
 	counts := failureLog.ByCategory()
 	cats := make([]failures.Category, 0, len(counts))
 	for cat, n := range counts {
@@ -51,34 +58,52 @@ func main() {
 			cats = append(cats, cat)
 		}
 	}
-	sort.Slice(cats, func(i, j int) bool { return counts[cats[i]] > counts[cats[j]] })
+	sort.Slice(cats, func(i, j int) bool {
+		if counts[cats[i]] != counts[cats[j]] {
+			return counts[cats[i]] > counts[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
 	for _, cat := range cats {
 		cat := cat
 		sub := failureLog.Filter(func(f tsubame.Failure) bool { return f.Category == cat })
-		fmt.Printf("\n%s (%d records) time between failures:\n", cat, sub.Len())
-		printFits(sub.InterarrivalHours())
-		fmt.Printf("%s time to recovery:\n", cat)
-		printFits(sub.RecoveryHours())
+		titles = append(titles,
+			fmt.Sprintf("%s (%d records) time between failures", cat, sub.Len()),
+			fmt.Sprintf("%s time to recovery", cat))
+		samples = append(samples,
+			positiveOnly(sub.InterarrivalHours()),
+			positiveOnly(sub.RecoveryHours()))
+	}
+
+	fitted := dist.FitAllMany(samples, *para)
+
+	fmt.Printf("Distribution fits for %v (%d records).\n", failureLog.System(), failureLog.Len())
+	for i, sf := range fitted {
+		fmt.Printf("\n%s:\n", titles[i])
+		printFits(sf)
 	}
 }
 
-func printFits(sample []float64) {
-	positive := sample[:0:0]
-	for _, x := range sample {
-		if x > 0 {
-			positive = append(positive, x)
-		}
-	}
-	fits, err := dist.FitAll(positive)
-	if err != nil {
-		fmt.Printf("  (no fit: %v)\n", err)
+func printFits(sf dist.SampleFits) {
+	if sf.Err != nil {
+		fmt.Printf("  (no fit: %v)\n", sf.Err)
 		return
 	}
-	for i, fit := range fits {
+	for i, fit := range sf.Fits {
 		marker := " "
 		if i == 0 {
 			marker = "*" // best by KS
 		}
 		fmt.Printf("  %s %-12s %-38s KS=%.4f AIC=%.1f\n", marker, fit.Name, fit.Dist, fit.KS, fit.AIC)
 	}
+}
+
+func positiveOnly(sample []float64) []float64 {
+	positive := sample[:0:0]
+	for _, x := range sample {
+		if x > 0 {
+			positive = append(positive, x)
+		}
+	}
+	return positive
 }

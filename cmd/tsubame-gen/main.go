@@ -5,6 +5,7 @@
 //
 //	tsubame-gen -system t2 -seed 42 -format csv -out tsubame2.csv
 //	tsubame-gen -system t3 -format ndjson        # stdout
+//	tsubame-gen -system t2 -runs 16 -out 'run-%d.csv'  # seeds 42..57, in parallel
 package main
 
 import (
@@ -13,9 +14,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	tsubame "repro"
 	"repro/internal/cli"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -23,13 +26,25 @@ func main() {
 	log.SetPrefix("tsubame-gen: ")
 	var (
 		systemName    = flag.String("system", "t2", "system to generate: t2 or t3")
-		seed          = flag.Int64("seed", 42, "deterministic generator seed")
+		seed          = flag.Int64("seed", 42, "deterministic generator seed (first seed with -runs > 1)")
+		runs          = flag.Int("runs", 1, "logs to generate with consecutive seeds; -out must contain %d")
+		parallelism   = flag.Int("parallel", 0, "worker-pool width for -runs > 1 (0 = all cores, 1 = sequential)")
 		format        = flag.String("format", "csv", "output format: csv or ndjson")
-		out           = flag.String("out", "", "output file (default stdout)")
+		out           = flag.String("out", "", "output file (default stdout); with -runs > 1, a pattern containing %d for the seed")
 		profilePath   = flag.String("profile", "", "custom calibration profile JSON (overrides -system)")
 		exportDefault = flag.Bool("export-profile", false, "print the -system profile as JSON and exit (starting point for -profile)")
 	)
 	flag.Parse()
+
+	if *runs < 1 {
+		log.Fatalf("-runs must be >= 1 (got %d)", *runs)
+	}
+	if *runs > 1 {
+		if err := generateRuns(*profilePath, *systemName, *seed, *runs, *parallelism, *format, *out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	failureLog, err := buildLog(*profilePath, *systemName, *seed, *exportDefault)
 	if err != nil {
@@ -60,6 +75,62 @@ func main() {
 	}
 }
 
+// generateRuns produces runs logs with consecutive seeds, generating
+// across the worker pool and writing one file per seed.
+func generateRuns(profilePath, systemName string, firstSeed int64, runs, parallelism int, format, out string) error {
+	if !strings.Contains(out, "%d") {
+		return fmt.Errorf("-runs %d needs -out containing %%d for the seed (got %q)", runs, out)
+	}
+	profile, err := resolveProfile(profilePath, systemName)
+	if err != nil {
+		return err
+	}
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = firstSeed + int64(i)
+	}
+	logs, err := tsubame.GenerateMany(profile, seeds, parallelism)
+	if err != nil {
+		return err
+	}
+	for i, failureLog := range logs {
+		name := fmt.Sprintf(out, seeds[i])
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := cli.WriteLog(f, failureLog, format); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d %v failures to %s\n", failureLog.Len(), failureLog.System(), name)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d logs (seeds %d..%d) with parallelism %d\n",
+		runs, firstSeed, firstSeed+int64(runs)-1, parallel.Width(parallelism, runs))
+	return nil
+}
+
+// resolveProfile loads the custom profile file or the built-in profile of
+// the named system.
+func resolveProfile(profilePath, systemName string) (*tsubame.Profile, error) {
+	if profilePath != "" {
+		f, err := os.Open(profilePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return tsubame.ReadProfile(f)
+	}
+	sys, err := cli.ParseSystem(systemName)
+	if err != nil {
+		return nil, err
+	}
+	return tsubame.ProfileForSystem(sys)
+}
+
 // buildLog resolves the generation source: a custom profile file, or the
 // built-in profile of the named system. With exportDefault it prints the
 // built-in profile as JSON to stdout and returns a nil log.
@@ -75,21 +146,9 @@ func buildLog(profilePath, systemName string, seed int64, exportDefault bool) (*
 		}
 		return nil, tsubame.WriteProfile(os.Stdout, profile)
 	}
-	if profilePath != "" {
-		f, err := os.Open(profilePath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		profile, err := tsubame.ReadProfile(f)
-		if err != nil {
-			return nil, err
-		}
-		return tsubame.GenerateFromProfile(profile, seed)
-	}
-	sys, err := cli.ParseSystem(systemName)
+	profile, err := resolveProfile(profilePath, systemName)
 	if err != nil {
 		return nil, err
 	}
-	return tsubame.GenerateLog(sys, seed)
+	return tsubame.GenerateFromProfile(profile, seed)
 }

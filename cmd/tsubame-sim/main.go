@@ -8,6 +8,7 @@
 //	tsubame-sim -system t2 -horizon 8760 -crews 4 -spares fixed -stock 1 -lead 72
 //	tsubame-sim -system t3 -spares predictive
 //	tsubame-sim -system t2 -checkpoint -ckpt-cost 0.1 -restart-cost 0.2
+//	tsubame-sim -system t2 -trials 16            # seeds 42..57, across all cores
 package main
 
 import (
@@ -26,7 +27,9 @@ func main() {
 	log.SetPrefix("tsubame-sim: ")
 	var (
 		systemName = flag.String("system", "t2", "system whose fitted processes drive the simulation: t2 or t3")
-		seed       = flag.Int64("seed", 42, "deterministic seed")
+		seed       = flag.Int64("seed", 42, "deterministic seed (first seed with -trials > 1)")
+		trials     = flag.Int("trials", 1, "independent replications with consecutive seeds")
+		para       = flag.Int("parallel", 0, "worker-pool width for -trials > 1 (0 = all cores, 1 = sequential)")
 		horizon    = flag.Float64("horizon", 8760, "simulated hours")
 		crews      = flag.Int("crews", 0, "repair crews (0 = unlimited)")
 		sparesKind = flag.String("spares", "unlimited", "spares policy: unlimited, fixed, predictive")
@@ -52,10 +55,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	parts, err := buildParts(*sparesKind, *stock, *lead)
-	if err != nil {
-		log.Fatal(err)
-	}
 	machine, err := tsubame.MachineFor(sys)
 	if err != nil {
 		log.Fatal(err)
@@ -67,12 +66,24 @@ func main() {
 		HorizonHours: *horizon,
 		Processes:    procs,
 		Crews:        *crews,
-		Parts:        parts,
 		Seed:         *seed,
 	}
 	if *proactive > 0 {
 		cfg.Proactive = &tsubame.ProactiveRecovery{WindowHours: *alarmHours, Factor: *proactive}
 	}
+	// Parts policies are stateful, so each trial builds a fresh one.
+	partsFor := func() (tsubame.PartsPolicy, error) { return buildParts(*sparesKind, *stock, *lead) }
+
+	if *trials > 1 {
+		runTrials(sys, cfg, *seed, *trials, *para, partsFor)
+		return
+	}
+
+	parts, err := partsFor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Parts = parts
 	res, err := tsubame.RunSimulation(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +128,33 @@ func main() {
 			fmt.Printf("  interval %6.2f h -> efficiency %.4f\n", tau, eff)
 		}
 	}
+}
+
+// runTrials replicates the simulation across consecutive seeds on a
+// bounded worker pool and prints per-trial lines plus the across-trial
+// aggregate.
+func runTrials(sys tsubame.System, cfg tsubame.SimConfig, firstSeed int64, trials, parallelism int, partsFor func() (tsubame.PartsPolicy, error)) {
+	seeds := make([]int64, trials)
+	for i := range seeds {
+		seeds[i] = firstSeed + int64(i)
+	}
+	results, err := tsubame.RunSimulationTrials(cfg, seeds, parallelism, partsFor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := tsubame.SummarizeSimulationTrials(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Simulated %v for %.0f h across %d trials (seeds %d..%d).\n",
+		sys, cfg.HorizonHours, trials, seeds[0], seeds[len(seeds)-1])
+	for i, r := range results {
+		fmt.Printf("  seed %-6d availability %.4f, %6d failures, %8.0f node-hours lost, mean wait %5.1f h\n",
+			seeds[i], r.Availability, r.Failures, r.NodeHoursLost, r.MeanRepairWait)
+	}
+	fmt.Printf("Across trials: availability %.4f ± %.4f (min %.4f, max %.4f); mean %8.0f node-hours lost; mean wait %.1f h; %d total failures.\n",
+		st.MeanAvailability, st.AvailabilityStd, st.MinAvailability, st.MaxAvailability,
+		st.MeanNodeHoursLost, st.MeanRepairWait, st.TotalFailures)
 }
 
 func buildParts(kind string, stock int, lead float64) (sim.PartsPolicy, error) {

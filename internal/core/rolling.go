@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -23,6 +25,17 @@ type WindowMTBF struct {
 // the window length as a lower-bound MTBF and Failures reflects the true
 // count.
 func RollingMTBF(log *failures.Log, windowDays, stepDays int) ([]WindowMTBF, error) {
+	return rollingMTBF(log, windowDays, stepDays, 1)
+}
+
+// RollingMTBFParallel is RollingMTBF with the independent window scans
+// fanned out across a bounded worker pool; the series is identical under
+// any width.
+func RollingMTBFParallel(log *failures.Log, windowDays, stepDays, parallelism int) ([]WindowMTBF, error) {
+	return rollingMTBF(log, windowDays, stepDays, parallelism)
+}
+
+func rollingMTBF(log *failures.Log, windowDays, stepDays, parallelism int) ([]WindowMTBF, error) {
 	if log.Len() < 2 {
 		return nil, ErrTooFewRecords
 	}
@@ -33,9 +46,19 @@ func RollingMTBF(log *failures.Log, windowDays, stepDays int) ([]WindowMTBF, err
 	window := time.Duration(windowDays) * 24 * time.Hour
 	step := time.Duration(stepDays) * 24 * time.Hour
 
-	records := log.Records()
-	var out []WindowMTBF
+	var cursors []time.Time
 	for cursor := start; cursor.Before(end); cursor = cursor.Add(step) {
+		cursors = append(cursors, cursor)
+	}
+	if len(cursors) == 0 {
+		return nil, ErrTooFewRecords
+	}
+
+	// Each window scans the records independently and writes only its own
+	// series slot, so the scans fan out with no synchronization beyond
+	// the pool itself.
+	records := log.Records()
+	return parallel.Map(context.Background(), parallelism, cursors, func(_ context.Context, _ int, cursor time.Time) (WindowMTBF, error) {
 		winEnd := cursor.Add(window)
 		var inWindow []failures.Failure
 		for _, r := range records {
@@ -50,12 +73,8 @@ func RollingMTBF(log *failures.Log, windowDays, stepDays int) ([]WindowMTBF, err
 		} else {
 			pt.MTBFHours = window.Hours()
 		}
-		out = append(out, pt)
-	}
-	if len(out) == 0 {
-		return nil, ErrTooFewRecords
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // MTBFTrend summarizes a rolling series: the ratio of the mean MTBF in

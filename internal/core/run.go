@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/failures"
+	"repro/internal/parallel"
+	"repro/internal/system"
+)
+
+// Options configures how an analysis battery executes. The knobs affect
+// scheduling only, never results: a Study produced under any Parallelism
+// is identical to the sequential one (docs/PARALLELISM.md).
+type Options struct {
+	// Parallelism bounds the worker pool that fans the independent
+	// per-figure analyses out across cores. 0 uses every core
+	// (GOMAXPROCS); 1 reproduces the sequential path exactly.
+	Parallelism int
+}
+
+// Run executes the full analysis battery on one log, fanning the
+// independent per-figure analyses out across a bounded worker pool. Every
+// analysis reads the immutable log and writes only its own Study field,
+// so the fan-out is race-free by construction; the pool dispatches tasks
+// in the sequential battery's order and returns the lowest-index error,
+// so failure behavior matches NewStudy as well.
+func Run(log *failures.Log, opts Options) (*Study, error) {
+	if log.Len() < 2 {
+		return nil, ErrTooFewRecords
+	}
+	s := &Study{System: log.System(), Records: log.Len(), SpanDays: log.Span().Hours() / 24}
+	width := opts.Parallelism
+
+	// Tasks are listed in NewStudy's historical order; best-effort
+	// analyses swallow their errors exactly as the sequential path does.
+	tasks := []func(context.Context) error{
+		func(context.Context) error {
+			var err error
+			if s.Breakdown, err = CategoryBreakdown(log); err != nil {
+				return fmt.Errorf("core: category breakdown: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			// Root loci are only recorded on systems that report them.
+			if top, err := SoftwareCauses(log, 16); err == nil {
+				s.SoftwareTop = top
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.NodeCounts, err = NodeFailureCounts(log); err != nil {
+				return fmt.Errorf("core: node failure counts: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.MultiNodeSplit, err = MultiFailureNodeSplit(log); err != nil {
+				return fmt.Errorf("core: multi-failure node split: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.SlotShares, err = GPUSlotDistribution(log); err != nil {
+				return fmt.Errorf("core: GPU slot distribution: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.Involvement, err = MultiGPUInvolvement(log); err != nil {
+				return fmt.Errorf("core: multi-GPU involvement: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.TBF, err = TBFAnalysis(log); err != nil {
+				return fmt.Errorf("core: TBF analysis: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.TBFPerType, err = tbfByCategory(log, minPerTypeTBF, width); err != nil {
+				return fmt.Errorf("core: per-type TBF: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			// A log can legitimately lack multi-GPU pairs; leave the
+			// field nil then.
+			if mg, err := MultiGPUTemporal(log, multiGPUWindowHours); err == nil {
+				s.MultiGPU = mg
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.TTR, err = TTRAnalysis(log); err != nil {
+				return fmt.Errorf("core: TTR analysis: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.TTRPerType, err = ttrByCategory(log, minPerTypeTTR, width); err != nil {
+				return fmt.Errorf("core: per-type TTR: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.Seasonal, err = MonthlySeasonality(log); err != nil {
+				return fmt.Errorf("core: monthly seasonality: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if s.SeasonalTests, err = SeasonalAnalysis(log); err != nil {
+				return fmt.Errorf("core: seasonal analysis: %w", err)
+			}
+			return nil
+		},
+		// Extensions are best-effort: externally supplied logs may use
+		// node identifiers outside the canonical topology or lack GPU
+		// attribution.
+		func(context.Context) error {
+			if spatial, err := spatialAnalysis(log, width); err == nil {
+				s.Spatial = spatial
+			}
+			return nil
+		},
+		func(context.Context) error {
+			if survival, err := GPUSurvival(log); err == nil {
+				s.Survival = survival
+			}
+			return nil
+		},
+	}
+	if err := parallel.Do(context.Background(), width, tasks...); err != nil {
+		return nil, err
+	}
+
+	// The proportionality metric consumes the TBF result, so it runs
+	// after the fan-out completes.
+	machine, err := system.ForSystem(log.System())
+	if err != nil {
+		return nil, err
+	}
+	if s.PEP, err = system.PerfErrorProp(machine, s.TBF.MTBFHours); err != nil {
+		return nil, fmt.Errorf("core: performance-error-proportionality: %w", err)
+	}
+	return s, nil
+}
+
+// CompareParallel builds the cross-generation comparison, analyzing the
+// two logs concurrently and fanning each study's analyses out under the
+// same options. CompareParallel with Parallelism 1 is Compare.
+func CompareParallel(oldLog, newLog *failures.Log, opts Options) (*Comparison, error) {
+	var oldStudy, newStudy *Study
+	err := parallel.Do(context.Background(), opts.Parallelism,
+		func(context.Context) error {
+			var err error
+			if oldStudy, err = Run(oldLog, opts); err != nil {
+				return fmt.Errorf("core: old-generation study: %w", err)
+			}
+			return nil
+		},
+		func(context.Context) error {
+			var err error
+			if newStudy, err = Run(newLog, opts); err != nil {
+				return fmt.Errorf("core: new-generation study: %w", err)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return compareStudies(oldLog, newLog, oldStudy, newStudy)
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/system"
 )
@@ -43,6 +45,26 @@ type SpatialResult struct {
 // SpatialAnalysis computes the rack- and node-level failure concentration
 // of a log against its machine's topology.
 func SpatialAnalysis(log *failures.Log) (*SpatialResult, error) {
+	return spatialAnalysis(log, 1)
+}
+
+// SpatialAnalysisParallel is SpatialAnalysis with the per-node
+// aggregation sharded across a bounded worker pool; results are
+// identical under any width.
+func SpatialAnalysisParallel(log *failures.Log, parallelism int) (*SpatialResult, error) {
+	return spatialAnalysis(log, parallelism)
+}
+
+// spatialShard is one shard's partial reduction over a contiguous range
+// of the sorted node list: per-rack counts and the shard's failure total.
+// Integer partials merge into the same grand totals in any order, which
+// is what keeps the sharded aggregation byte-identical to sequential.
+type spatialShard struct {
+	rackCounts []int
+	total      int
+}
+
+func spatialAnalysis(log *failures.Log, parallelism int) (*SpatialResult, error) {
 	machine, err := system.ForSystem(log.System())
 	if err != nil {
 		return nil, err
@@ -51,15 +73,46 @@ func SpatialAnalysis(log *failures.Log) (*SpatialResult, error) {
 	if len(perNode) == 0 {
 		return nil, ErrEmptyLog
 	}
+	nodes := make([]string, 0, len(perNode))
+	for node := range perNode {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+
+	// Shard the per-node aggregation: each worker owns a contiguous node
+	// range, validates it against the topology, accumulates private rack
+	// counts, and fills its disjoint slots of the fleet vector.
+	fleetVals := make([]float64, machine.Nodes)
+	width := parallel.Width(parallelism, len(nodes))
+	partials, err := parallel.Map(context.Background(), width, parallel.Shards(len(nodes), width),
+		func(_ context.Context, _ int, sh parallel.Range) (spatialShard, error) {
+			pt := spatialShard{rackCounts: make([]int, machine.Racks())}
+			for _, node := range nodes[sh.Lo:sh.Hi] {
+				count := perNode[node]
+				rack, ok := machine.RackOf(node)
+				if !ok {
+					return spatialShard{}, fmt.Errorf("core: node %q outside the %v topology", node, log.System())
+				}
+				pt.rackCounts[rack] += count
+				pt.total += count
+				idx, ok := system.ParseNodeIndex(node)
+				if !ok || idx >= machine.Nodes {
+					return spatialShard{}, fmt.Errorf("core: node %q outside the %v fleet", node, log.System())
+				}
+				fleetVals[idx] = float64(count)
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	rackCounts := make([]int, machine.Racks())
 	total := 0
-	for node, count := range perNode {
-		rack, ok := machine.RackOf(node)
-		if !ok {
-			return nil, fmt.Errorf("core: node %q outside the %v topology", node, log.System())
+	for _, pt := range partials {
+		for rack, c := range pt.rackCounts {
+			rackCounts[rack] += c
 		}
-		rackCounts[rack] += count
-		total += count
+		total += pt.total
 	}
 
 	res := &SpatialResult{}
@@ -91,14 +144,6 @@ func SpatialAnalysis(log *failures.Log) (*SpatialResult, error) {
 		return nil, err
 	}
 
-	fleetVals := make([]float64, machine.Nodes)
-	for node, count := range perNode {
-		idx, ok := system.ParseNodeIndex(node)
-		if !ok || idx >= machine.Nodes {
-			return nil, fmt.Errorf("core: node %q outside the %v fleet", node, log.System())
-		}
-		fleetVals[idx] = float64(count)
-	}
 	if res.NodeGini, err = stats.Gini(fleetVals); err != nil {
 		return nil, err
 	}

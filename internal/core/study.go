@@ -51,71 +51,10 @@ const (
 	multiGPUWindowHours = 72
 )
 
-// NewStudy runs the full analysis battery on one log.
+// NewStudy runs the full analysis battery on one log, sequentially. It is
+// Run with Parallelism 1; results are identical under any width.
 func NewStudy(log *failures.Log) (*Study, error) {
-	if log.Len() < 2 {
-		return nil, ErrTooFewRecords
-	}
-	s := &Study{System: log.System(), Records: log.Len(), SpanDays: log.Span().Hours() / 24}
-
-	var err error
-	if s.Breakdown, err = CategoryBreakdown(log); err != nil {
-		return nil, fmt.Errorf("core: category breakdown: %w", err)
-	}
-	// Root loci are only recorded on systems that report them.
-	if top, err := SoftwareCauses(log, 16); err == nil {
-		s.SoftwareTop = top
-	}
-	if s.NodeCounts, err = NodeFailureCounts(log); err != nil {
-		return nil, fmt.Errorf("core: node failure counts: %w", err)
-	}
-	if s.MultiNodeSplit, err = MultiFailureNodeSplit(log); err != nil {
-		return nil, fmt.Errorf("core: multi-failure node split: %w", err)
-	}
-	if s.SlotShares, err = GPUSlotDistribution(log); err != nil {
-		return nil, fmt.Errorf("core: GPU slot distribution: %w", err)
-	}
-	if s.Involvement, err = MultiGPUInvolvement(log); err != nil {
-		return nil, fmt.Errorf("core: multi-GPU involvement: %w", err)
-	}
-	if s.TBF, err = TBFAnalysis(log); err != nil {
-		return nil, fmt.Errorf("core: TBF analysis: %w", err)
-	}
-	if s.TBFPerType, err = TBFByCategory(log, minPerTypeTBF); err != nil {
-		return nil, fmt.Errorf("core: per-type TBF: %w", err)
-	}
-	// A log can legitimately lack multi-GPU pairs; leave the field nil then.
-	if mg, err := MultiGPUTemporal(log, multiGPUWindowHours); err == nil {
-		s.MultiGPU = mg
-	}
-	if s.TTR, err = TTRAnalysis(log); err != nil {
-		return nil, fmt.Errorf("core: TTR analysis: %w", err)
-	}
-	if s.TTRPerType, err = TTRByCategory(log, minPerTypeTTR); err != nil {
-		return nil, fmt.Errorf("core: per-type TTR: %w", err)
-	}
-	if s.Seasonal, err = MonthlySeasonality(log); err != nil {
-		return nil, fmt.Errorf("core: monthly seasonality: %w", err)
-	}
-	if s.SeasonalTests, err = SeasonalAnalysis(log); err != nil {
-		return nil, fmt.Errorf("core: seasonal analysis: %w", err)
-	}
-	machine, err := system.ForSystem(log.System())
-	if err != nil {
-		return nil, err
-	}
-	if s.PEP, err = system.PerfErrorProp(machine, s.TBF.MTBFHours); err != nil {
-		return nil, fmt.Errorf("core: performance-error-proportionality: %w", err)
-	}
-	// Extensions are best-effort: externally supplied logs may use node
-	// identifiers outside the canonical topology or lack GPU attribution.
-	if spatial, err := SpatialAnalysis(log); err == nil {
-		s.Spatial = spatial
-	}
-	if survival, err := GPUSurvival(log); err == nil {
-		s.Survival = survival
-	}
-	return s, nil
+	return Run(log, Options{Parallelism: 1})
 }
 
 // Comparison contrasts two generations the way the paper contrasts
@@ -153,6 +92,12 @@ func Compare(oldLog, newLog *failures.Log) (*Comparison, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: new-generation study: %w", err)
 	}
+	return compareStudies(oldLog, newLog, oldStudy, newStudy)
+}
+
+// compareStudies assembles the Comparison from two already-built studies;
+// shared by the sequential and parallel entry points.
+func compareStudies(oldLog, newLog *failures.Log, oldStudy, newStudy *Study) (*Comparison, error) {
 	c := &Comparison{
 		Old:             oldStudy,
 		New:             newStudy,

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -54,31 +56,67 @@ type CategoryDurations struct {
 // (the paper's Figure 7 omits sparsely populated categories). Rows are
 // sorted by ascending mean, matching the figure's ordering.
 func TBFByCategory(log *failures.Log, minCount int) ([]CategoryDurations, error) {
+	return tbfByCategory(log, minCount, 1)
+}
+
+// TBFByCategoryParallel is TBFByCategory with the per-category sub-log
+// scans and summaries fanned out across a bounded worker pool; results
+// are identical under any width.
+func TBFByCategoryParallel(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
+	return tbfByCategory(log, minCount, parallelism)
+}
+
+func tbfByCategory(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
 	if log.Len() == 0 {
 		return nil, ErrEmptyLog
 	}
 	if minCount < 2 {
 		minCount = 2
 	}
-	var out []CategoryDurations
-	for cat, n := range log.ByCategory() {
-		if n < minCount {
-			continue
-		}
-		cat := cat
+	cats := categoriesWithAtLeast(log.ByCategory(), minCount)
+	rows, err := parallel.Map(context.Background(), parallelism, cats, func(_ context.Context, _ int, cat failures.Category) (*CategoryDurations, error) {
 		sub := log.Filter(func(f failures.Failure) bool { return f.Category == cat })
 		gaps := sub.InterarrivalHours()
 		if len(gaps) == 0 {
-			continue
+			return nil, nil
 		}
 		sum, err := stats.Summarize(gaps)
 		if err != nil {
-			continue
+			return nil, nil // degenerate category: skipped, as sequentially
 		}
-		out = append(out, CategoryDurations{Category: cat, Summary: sum})
+		return &CategoryDurations{Category: cat, Summary: sum}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := collectDurations(rows)
 	if len(out) == 0 {
 		return nil, ErrTooFewRecords
+	}
+	return out, nil
+}
+
+// categoriesWithAtLeast returns the categories with minCount+ records in
+// a deterministic order, the fan-out work list of the per-type analyses.
+func categoriesWithAtLeast(counts map[failures.Category]int, minCount int) []failures.Category {
+	cats := make([]failures.Category, 0, len(counts))
+	for cat, n := range counts {
+		if n >= minCount {
+			cats = append(cats, cat)
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	return cats
+}
+
+// collectDurations drops skipped categories and applies the boxplot
+// figures' ascending-mean ordering.
+func collectDurations(rows []*CategoryDurations) []CategoryDurations {
+	out := make([]CategoryDurations, 0, len(rows))
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, *r)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Summary.Mean != out[j].Summary.Mean {
@@ -86,7 +124,10 @@ func TBFByCategory(log *failures.Log, minCount int) ([]CategoryDurations, error)
 		}
 		return out[i].Category < out[j].Category
 	})
-	return out, nil
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // CategoryMTBF returns the mean time between failures of one category in

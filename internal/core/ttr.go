@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -42,6 +44,17 @@ func TTRAnalysis(log *failures.Log) (*TTRResult, error) {
 // categories with at least minCount records, sorted by ascending mean
 // recovery time (Figure 10's ordering).
 func TTRByCategory(log *failures.Log, minCount int) ([]CategoryDurations, error) {
+	return ttrByCategory(log, minCount, 1)
+}
+
+// TTRByCategoryParallel is TTRByCategory with the per-category summaries
+// fanned out across a bounded worker pool; results are identical under
+// any width.
+func TTRByCategoryParallel(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
+	return ttrByCategory(log, minCount, parallelism)
+}
+
+func ttrByCategory(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
 	if log.Len() == 0 {
 		return nil, ErrEmptyLog
 	}
@@ -52,26 +65,27 @@ func TTRByCategory(log *failures.Log, minCount int) ([]CategoryDurations, error)
 	for _, r := range log.Records() {
 		byCat[r.Category] = append(byCat[r.Category], r.Recovery.Hours())
 	}
-	var out []CategoryDurations
+	cats := make([]failures.Category, 0, len(byCat))
 	for cat, hours := range byCat {
-		if len(hours) < minCount {
-			continue
+		if len(hours) >= minCount {
+			cats = append(cats, cat)
 		}
-		sum, err := stats.Summarize(hours)
-		if err != nil {
-			continue
-		}
-		out = append(out, CategoryDurations{Category: cat, Summary: sum})
 	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	rows, err := parallel.Map(context.Background(), parallelism, cats, func(_ context.Context, _ int, cat failures.Category) (*CategoryDurations, error) {
+		sum, err := stats.Summarize(byCat[cat])
+		if err != nil {
+			return nil, nil // degenerate category: skipped, as sequentially
+		}
+		return &CategoryDurations{Category: cat, Summary: sum}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := collectDurations(rows)
 	if len(out) == 0 {
 		return nil, ErrEmptyLog
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Summary.Mean != out[j].Summary.Mean {
-			return out[i].Summary.Mean < out[j].Summary.Mean
-		}
-		return out[i].Category < out[j].Category
-	})
 	return out, nil
 }
 

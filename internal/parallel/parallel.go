@@ -1,0 +1,198 @@
+// Package parallel is the repository's concurrency substrate: a bounded
+// worker pool with deterministic semantics, used to fan the analysis
+// engine, the synthetic generator, and the simulator out across cores.
+//
+// The design contract, relied on throughout the repository:
+//
+//   - Deterministic output ordering: Map writes result i from item i, so
+//     the output slice is identical to the sequential loop's regardless
+//     of worker interleaving.
+//   - Deterministic first-error propagation: items are dispatched in
+//     index order and every started item runs to completion, so when one
+//     or more items fail, the error returned is the one the plain
+//     sequential loop would have hit first (the lowest failing index).
+//   - Cancellation: the first failure cancels the pool context, so
+//     not-yet-started items are skipped and context-aware workloads can
+//     abandon in-flight work early.
+//   - Width clamping: parallelism <= 0 means "use every core"
+//     (GOMAXPROCS); a width of 1 reproduces the sequential path exactly,
+//     running items in order on the calling goroutine's schedule.
+//
+// Because analyses stay byte-identical under any width, callers expose a
+// single Parallelism knob and default it to the machine width.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// DefaultParallelism is the pool width used when the caller passes a
+// non-positive width: the runtime's current GOMAXPROCS.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Width clamps a requested parallelism to a usable pool width: values
+// below 1 become DefaultParallelism, and the width never exceeds n (the
+// number of items) when n is positive.
+func Width(parallelism, n int) int {
+	w := parallelism
+	if w < 1 {
+		w = DefaultParallelism()
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Range is a half-open index interval [Lo, Hi) over some item slice.
+type Range struct{ Lo, Hi int }
+
+// Shards partitions n items into at most parts contiguous near-equal
+// ranges, for data-parallel reductions where per-item work is too small
+// to dispatch individually. The concatenation of the ranges always
+// covers [0, n) in order.
+func Shards(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if lo < hi {
+			out = append(out, Range{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// Map applies fn to every item with at most parallelism workers and
+// returns the results in item order. fn receives the (possibly
+// cancelled) pool context, the item index, and the item. On failure Map
+// returns the lowest-index error after every started item finished; the
+// remaining items are skipped.
+func Map[T, R any](ctx context.Context, parallelism int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := run(ctx, parallelism, len(items), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, i, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach applies fn to every item with at most parallelism workers,
+// with Map's dispatch-order and first-error semantics.
+func ForEach[T any](ctx context.Context, parallelism int, items []T, fn func(ctx context.Context, i int, item T) error) error {
+	return run(ctx, parallelism, len(items), func(ctx context.Context, i int) error {
+		return fn(ctx, i, items[i])
+	})
+}
+
+// Do runs a set of heterogeneous tasks with at most parallelism workers
+// and Map's first-error semantics. It is the fan-out primitive behind
+// core.Run: each task fills its own result slot, and the lowest-index
+// error matches the order a sequential battery would report.
+func Do(ctx context.Context, parallelism int, tasks ...func(ctx context.Context) error) error {
+	return run(ctx, parallelism, len(tasks), func(ctx context.Context, i int) error {
+		return tasks[i](ctx)
+	})
+}
+
+// run is the shared pool core: width-1 pools run inline (the sequential
+// path, no goroutines), wider pools dispatch indices in order to a fixed
+// set of workers.
+func run(ctx context.Context, parallelism, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	width := Width(parallelism, n)
+	if width == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		next     int // index dispatch cursor; strictly increasing
+		firstIdx = -1
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		// Stop dispatching once an item failed or the caller cancelled;
+		// in-flight items still run to completion.
+		if poolCtx.Err() != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(poolCtx, i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstIdx != -1 {
+		return firstErr
+	}
+	return ctx.Err()
+}

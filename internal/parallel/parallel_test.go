@@ -1,0 +1,189 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWidthClamping(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		parallelism, n, want int
+	}{
+		{0, 100, min(procs, 100)},
+		{-3, 100, min(procs, 100)},
+		{1, 100, 1},
+		{8, 4, 4},   // never wider than the item count
+		{8, 0, 8},   // n==0 means "unknown count": keep the request
+		{3, 100, 3}, // explicit width wins below the item count
+	}
+	for _, c := range cases {
+		if got := Width(c.parallelism, c.n); got != c.want {
+			t.Errorf("Width(%d, %d) = %d, want %d", c.parallelism, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	for _, width := range []int{1, 2, 7, 64} {
+		out, err := Map(context.Background(), width, items, func(_ context.Context, i, item int) (string, error) {
+			if i%17 == 0 {
+				runtime.Gosched() // shake up completion order
+			}
+			return fmt.Sprintf("%d!", item), nil
+		})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(out) != len(items) {
+			t.Fatalf("width %d: got %d results, want %d", width, len(out), len(items))
+		}
+		for i, s := range out {
+			if want := fmt.Sprintf("%d!", i); s != want {
+				t.Fatalf("width %d: out[%d] = %q, want %q", width, i, s, want)
+			}
+		}
+	}
+}
+
+func TestFirstErrorWinsDeterministically(t *testing.T) {
+	// Items 3 and 7 fail; whatever the interleaving, the error of the
+	// lowest index must surface — the one a sequential loop returns.
+	errs := map[int]error{3: errors.New("boom-3"), 7: errors.New("boom-7")}
+	items := make([]int, 50)
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 8, items, func(_ context.Context, i, _ int) (int, error) {
+			if e, ok := errs[i]; ok {
+				return 0, e
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errs[3]) {
+			t.Fatalf("trial %d: got %v, want boom-3", trial, err)
+		}
+	}
+}
+
+func TestErrorCancelsInFlightWork(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled atomic.Bool
+	release := make(chan struct{})
+	tasks := []func(ctx context.Context) error{
+		// Long-running context-aware task: must observe cancellation
+		// triggered by its sibling's failure rather than run forever.
+		func(ctx context.Context) error {
+			close(release)
+			select {
+			case <-ctx.Done():
+				cancelled.Store(true)
+				return nil
+			case <-time.After(30 * time.Second):
+				return errors.New("sibling failure never cancelled the pool")
+			}
+		},
+		func(ctx context.Context) error {
+			<-release // fail only once the sibling is in flight
+			return boom
+		},
+	}
+	if err := Do(context.Background(), 2, tasks...); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if !cancelled.Load() {
+		t.Fatal("in-flight task did not observe cancellation")
+	}
+}
+
+func TestErrorStopsDispatch(t *testing.T) {
+	// After an early item fails, not-yet-started items must be skipped.
+	var started atomic.Int64
+	items := make([]int, 1000)
+	err := ForEach(context.Background(), 4, items, func(_ context.Context, i, _ int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the early failure to propagate")
+	}
+	if n := started.Load(); n == int64(len(items)) {
+		t.Fatalf("all %d items ran despite the early failure", n)
+	}
+}
+
+func TestCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := make([]int, 100)
+	var ran atomic.Int64
+	err := ForEach(ctx, 4, items, func(context.Context, int, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d items ran under a pre-cancelled context", n)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, err := Map(context.Background(), 4, nil, func(_ context.Context, _ int, _ struct{}) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got (%v, %v), want empty success", out, err)
+	}
+	if err := Do(context.Background(), 4); err != nil {
+		t.Fatalf("empty Do: %v", err)
+	}
+}
+
+// TestStressSharedCounter runs hundreds of tasks that hammer shared
+// state through proper synchronization; under -race this certifies the
+// pool introduces no unsynchronized access of its own.
+func TestStressSharedCounter(t *testing.T) {
+	const tasks = 800
+	var (
+		mu    sync.Mutex
+		seen  = make(map[int]bool, tasks)
+		total atomic.Int64
+	)
+	items := make([]int, tasks)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), 0, items, func(_ context.Context, i, item int) (int, error) {
+		total.Add(1)
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return item * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != tasks || len(seen) != tasks {
+		t.Fatalf("ran %d/%d tasks over %d indices", total.Load(), tasks, len(seen))
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/failures"
+	"repro/internal/parallel"
 )
 
 // Generate produces a synthetic failure log for the profile. The result is
@@ -57,6 +59,17 @@ func Generate(p *Profile, seed int64) (*failures.Log, error) {
 		return nil, err
 	}
 	return failures.NewLog(p.System, records)
+}
+
+// GenerateMany produces one log per seed, fanning the independent
+// generations out across a bounded worker pool. Generation is pure in
+// (profile, seed) and the profile is only read, so the i-th log is
+// byte-identical to Generate(p, seeds[i]); parallelism 1 reproduces the
+// sequential loop.
+func GenerateMany(p *Profile, seeds []int64, parallelism int) ([]*failures.Log, error) {
+	return parallel.Map(context.Background(), parallelism, seeds, func(_ context.Context, _ int, seed int64) (*failures.Log, error) {
+		return Generate(p, seed)
+	})
 }
 
 // GenerateBoth produces the Tsubame-2 and Tsubame-3 logs with one seed,

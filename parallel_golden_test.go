@@ -1,0 +1,133 @@
+package tsubame_test
+
+import (
+	"reflect"
+	"testing"
+
+	tsubame "repro"
+)
+
+// TestParallelReportByteIdentical is the end-to-end determinism golden:
+// the full rendered report — every table and figure of the paper — built
+// from a parallel analysis is byte-identical to the sequential one, on
+// both the Tsubame-2 and Tsubame-3 synthetic traces.
+func TestParallelReportByteIdentical(t *testing.T) {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := tsubame.Compare(t2, t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{0, 2, 4, 8} {
+		par, err := tsubame.CompareParallel(t2, t3, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("width %d: comparison structure diverged from sequential", width)
+		}
+		if a, b := tsubame.RenderFullReport(seq), tsubame.RenderFullReport(par); a != b {
+			t.Errorf("width %d: full report not byte-identical (%d vs %d bytes)", width, len(a), len(b))
+		}
+		if a, b := tsubame.RenderMarkdownReport(seq), tsubame.RenderMarkdownReport(par); a != b {
+			t.Errorf("width %d: markdown report not byte-identical", width)
+		}
+	}
+}
+
+// TestAnalyzeParallelMatchesAnalyze pins the single-study entry point on
+// both generations.
+func TestAnalyzeParallelMatchesAnalyze(t *testing.T) {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, log := range []*tsubame.Log{t2, t3} {
+		seq, err := tsubame.Analyze(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := tsubame.AnalyzeParallel(log, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%v: parallel study diverged from sequential", log.System())
+		}
+	}
+}
+
+// TestGenerateManyMatchesSequential: multi-seed generation must be pure
+// in (profile, seed) regardless of pool width.
+func TestGenerateManyMatchesSequential(t *testing.T) {
+	p := tsubame.Tsubame2Profile()
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	par, err := tsubame.GenerateMany(p, seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seeds) {
+		t.Fatalf("got %d logs, want %d", len(par), len(seeds))
+	}
+	for i, seed := range seeds {
+		seq, err := tsubame.GenerateFromProfile(p, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par[i]) {
+			t.Errorf("seed %d: parallel generation diverged from sequential", seed)
+		}
+	}
+}
+
+// TestSimulationTrialsMatchSequential: each parallel trial must be
+// byte-identical to a lone sequential run with the same seed, including
+// under a stateful per-trial parts policy.
+func TestSimulationTrialsMatchSequential(t *testing.T) {
+	t2, _, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := tsubame.FitProcesses(t2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tsubame.SimConfig{
+		Nodes: 256, GPUsPerNode: 3, HorizonHours: 2000,
+		Processes: procs, Crews: 4,
+	}
+	parts := func() (tsubame.PartsPolicy, error) { return tsubame.FixedSpares(1, 72) }
+	seeds := []int64{7, 8, 9, 10}
+	par, err := tsubame.RunSimulationTrials(cfg, seeds, 4, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		trial := cfg
+		trial.Seed = seed
+		p, err := parts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		trial.Parts = p
+		seq, err := tsubame.RunSimulation(trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par[i]) {
+			t.Errorf("seed %d: parallel trial diverged from sequential", seed)
+		}
+	}
+	st, err := tsubame.SummarizeSimulationTrials(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trials != len(seeds) || st.MeanAvailability <= 0 || st.MeanAvailability > 1 {
+		t.Errorf("implausible trial stats: %+v", st)
+	}
+	if st.MinAvailability > st.MeanAvailability || st.MaxAvailability < st.MeanAvailability {
+		t.Errorf("availability bounds do not bracket the mean: %+v", st)
+	}
+}

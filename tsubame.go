@@ -62,6 +62,14 @@ type (
 	SimResult = sim.Result
 	// FailureProcess is one simulated failure stream.
 	FailureProcess = sim.FailureProcess
+	// PartsPolicy abstracts spare-part provisioning for the simulator.
+	PartsPolicy = sim.PartsPolicy
+	// SimTrialStats aggregates a multi-trial simulation run.
+	SimTrialStats = sim.TrialStats
+	// AnalysisOptions configures an analysis run; Parallelism bounds the
+	// analysis worker pool (0 = all cores, 1 = sequential) without
+	// affecting results.
+	AnalysisOptions = core.Options
 	// CheckpointModel parameterizes checkpoint/restart tuning.
 	CheckpointModel = sched.CheckpointModel
 	// Distribution is a univariate duration distribution (hours).
@@ -122,9 +130,24 @@ func Tsubame3Profile() *Profile { return synth.Tsubame3Profile() }
 // Analyze runs the full RQ1-RQ5 battery on one log.
 func Analyze(log *Log) (*Study, error) { return core.NewStudy(log) }
 
+// AnalyzeParallel runs the full battery with the independent analyses
+// fanned out across at most parallelism workers (0 = all cores). The
+// resulting Study is identical to Analyze's for any parallelism; see
+// docs/PARALLELISM.md for the determinism guarantee.
+func AnalyzeParallel(log *Log, parallelism int) (*Study, error) {
+	return core.Run(log, core.Options{Parallelism: parallelism})
+}
+
 // Compare analyzes two logs and contrasts the generations the way the
 // paper contrasts Tsubame-2 and Tsubame-3.
 func Compare(oldLog, newLog *Log) (*Comparison, error) { return core.Compare(oldLog, newLog) }
+
+// CompareParallel is Compare with both studies and their analyses fanned
+// out across at most parallelism workers; the Comparison is identical to
+// Compare's for any parallelism.
+func CompareParallel(oldLog, newLog *Log, parallelism int) (*Comparison, error) {
+	return core.CompareParallel(oldLog, newLog, core.Options{Parallelism: parallelism})
+}
 
 // MachineFor returns the Table I machine model of a system.
 func MachineFor(sys System) (Machine, error) { return system.ForSystem(sys) }
@@ -135,9 +158,23 @@ func RollingMTBF(log *Log, windowDays, stepDays int) ([]WindowMTBF, error) {
 	return core.RollingMTBF(log, windowDays, stepDays)
 }
 
+// RollingMTBFParallel is RollingMTBF with the independent window scans
+// fanned out across at most parallelism workers; the series is identical
+// for any parallelism.
+func RollingMTBFParallel(log *Log, windowDays, stepDays, parallelism int) ([]WindowMTBF, error) {
+	return core.RollingMTBFParallel(log, windowDays, stepDays, parallelism)
+}
+
 // MTBFTrend summarizes a rolling series as late-third over early-third
 // mean MTBF (>1 means the system grew more reliable over its life).
 func MTBFTrend(series []WindowMTBF) (float64, error) { return core.MTBFTrend(series) }
+
+// GenerateMany produces one log per seed across at most parallelism
+// workers; the i-th log is byte-identical to GenerateFromProfile(p,
+// seeds[i]).
+func GenerateMany(p *Profile, seeds []int64, parallelism int) ([]*Log, error) {
+	return synth.GenerateMany(p, seeds, parallelism)
+}
 
 // Serialization.
 
@@ -163,6 +200,21 @@ func FitProcesses(log *Log, minCount int) ([]FailureProcess, error) {
 
 // RunSimulation executes a failure/repair simulation.
 func RunSimulation(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// RunSimulationTrials executes one simulation per seed across at most
+// parallelism workers, returning per-trial results in seed order. Each
+// trial is byte-identical to a sequential RunSimulation with that seed.
+// parts builds a fresh (stateful) policy per trial; nil means spares are
+// always available.
+func RunSimulationTrials(cfg SimConfig, seeds []int64, parallelism int, parts func() (PartsPolicy, error)) ([]*SimResult, error) {
+	return sim.RunTrials(cfg, seeds, parallelism, parts)
+}
+
+// SummarizeSimulationTrials reduces per-trial simulation results to
+// across-trial statistics.
+func SummarizeSimulationTrials(results []*SimResult) (SimTrialStats, error) {
+	return sim.SummarizeTrials(results)
+}
 
 // UnlimitedSpares returns the no-delay parts policy.
 func UnlimitedSpares() sim.PartsPolicy { return spares.Unlimited{} }
