@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet lint ci clean
+.PHONY: build test race bench bench-smoke fuzz-smoke vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -34,6 +34,13 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -json ./... | tee BENCH_ci.json
 
+## fuzz-smoke: 30 seconds of coverage-guided fuzzing on the trace
+## parsers, 15 s per target. Go permits one -fuzz target per invocation,
+## so the two targets run back to back.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=15s -run='^$$' ./internal/trace/
+	$(GO) test -fuzz='^FuzzReadNDJSON$$' -fuzztime=15s -run='^$$' ./internal/trace/
+
 ## lint: golangci-lint if installed (non-blocking in CI; optional locally)
 lint:
 	@command -v golangci-lint >/dev/null 2>&1 \
@@ -41,7 +48,7 @@ lint:
 		|| echo "golangci-lint not installed; skipping (CI runs it non-blocking)"
 
 ## ci: every blocking CI step, in CI's order
-ci: build vet test race bench-smoke
+ci: build vet test race bench-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_ci.json

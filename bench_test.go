@@ -11,12 +11,15 @@ package tsubame_test
 
 import (
 	"runtime"
+	"strings"
 	"testing"
+	"time"
 
 	tsubame "repro"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/failures"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -772,6 +775,120 @@ func BenchmarkAblationCostCurve(b *testing.B) {
 	b.ReportMetric(float64(points[optimal].Stock), "optimal_stock")
 	b.ReportMetric(points[optimal].Total, "optimal_total_cost")
 	b.ReportMetric(points[0].Total, "zero_stock_total_cost")
+}
+
+// --- Observability layer (internal/obs) ---
+
+// BenchmarkFullStudyObserved runs the full RQ1-RQ5 battery with metric
+// collection enabled and reports every named phase span as a benchmark
+// metric (mean seconds per iteration, metric name = span name with "/"
+// flattened to "_"). This is the per-phase timing breakdown the run
+// manifests record, surfaced through the benchmark pipeline.
+func BenchmarkFullStudyObserved(b *testing.B) {
+	t2, _ := benchLogs(b)
+	was := obs.Enable(true)
+	defer obs.Enable(was)
+	obs.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsubame.AnalyzeParallel(t2, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, s := range obs.Take().Spans {
+		metric := strings.ReplaceAll(s.Name, "/", "_") + "_s"
+		b.ReportMetric(s.WallSeconds/float64(b.N), metric)
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "pool_width")
+}
+
+// BenchmarkObsSpanDisabled and BenchmarkObsSpanEnabled are the paired
+// overhead benchmarks for one instrumented call site. Disabled is the
+// production default: a span must cost a single atomic load (~1 ns), so
+// instrumenting every analysis phase adds well under 2% to any phase
+// that does real work.
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	was := obs.Enable(false)
+	defer obs.Enable(was)
+	for i := 0; i < b.N; i++ {
+		obs.StartSpan("bench/span").End()
+	}
+}
+
+func BenchmarkObsSpanEnabled(b *testing.B) {
+	was := obs.Enable(true)
+	defer func() {
+		obs.Enable(was)
+		obs.Reset()
+	}()
+	for i := 0; i < b.N; i++ {
+		obs.StartSpan("bench/span").End()
+	}
+}
+
+// BenchmarkObsCounterDisabled/Enabled: same pairing for counters, the
+// other hot-path primitive.
+func BenchmarkObsCounterDisabled(b *testing.B) {
+	was := obs.Enable(false)
+	defer obs.Enable(was)
+	for i := 0; i < b.N; i++ {
+		obs.Add("bench/counter", 1)
+	}
+}
+
+func BenchmarkObsCounterEnabled(b *testing.B) {
+	was := obs.Enable(true)
+	defer func() {
+		obs.Enable(was)
+		obs.Reset()
+	}()
+	for i := 0; i < b.N; i++ {
+		obs.Add("bench/counter", 1)
+	}
+}
+
+// BenchmarkFullStudyInstrumentedDisabled pairs with
+// BenchmarkFullStudySequential at the whole-study level: identical work,
+// collection explicitly off, so any gap between the two is the total
+// disabled-mode cost of every span and counter in the analysis path. The
+// acceptance bar is <2%.
+func BenchmarkFullStudyInstrumentedDisabled(b *testing.B) {
+	t2, _ := benchLogs(b)
+	was := obs.Enable(false)
+	defer obs.Enable(was)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsubame.AnalyzeParallel(t2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "pool_width")
+}
+
+// TestObsDisabledOverhead is the executable form of the <2% criterion on
+// the hot primitive itself: with collection disabled, one million
+// span+counter pairs must complete in far less time than even a 1%
+// slice of the cheapest analysis phase. The generous wall bound (50 ms
+// for 2M atomic loads, ~25 ns each) keeps the check meaningful without
+// being flaky on loaded CI runners.
+func TestObsDisabledOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-instrumented atomics invalidate the wall-clock bound")
+	}
+	was := obs.Enable(false)
+	defer obs.Enable(was)
+	start := time.Now()
+	for i := 0; i < 1_000_000; i++ {
+		obs.StartSpan("overhead/span").End()
+		obs.Add("overhead/counter", 1)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("2M disabled-mode obs calls took %v, want < 50ms", elapsed)
+	}
+	if _, ok := obs.Take().SpanByName("overhead/span"); ok {
+		t.Error("disabled-mode calls must not record spans")
+	}
 }
 
 // BenchmarkExtWorkloadAttribution tests the paper's scope note that no

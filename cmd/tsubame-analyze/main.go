@@ -17,16 +17,27 @@ import (
 
 	tsubame "repro"
 	"repro/internal/cli"
+	"repro/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsubame-analyze: ")
 	var (
-		in     = flag.String("in", "", "input log file (default stdin)")
-		format = flag.String("format", "", "input format: csv or ndjson (default: from file extension, else csv)")
+		in        = flag.String("in", "", "input log file (default stdin)")
+		format    = flag.String("format", "", "input format: csv or ndjson (default: from file extension, else csv)")
+		para      = flag.Int("parallel", 0, "analysis worker-pool width (0 = all cores, 1 = sequential)")
+		manifest  = cli.ManifestFlag()
+		debugAddr = cli.DebugAddrFlag()
 	)
 	flag.Parse()
+	cli.CheckFlags(
+		cli.NonNegativeInt("parallel", *para),
+	)
+	run, err := cli.StartRun("tsubame-analyze", *manifest, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var r io.Reader = os.Stdin
 	name := "stdin"
@@ -43,9 +54,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	study, err := tsubame.Analyze(failureLog)
+	study, err := tsubame.AnalyzeParallel(failureLog, *para)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if m := run.Manifest(); m != nil {
+		m.PoolWidth = parallel.Width(*para, 0)
+		m.SetRecordCount("records", failureLog.Len())
 	}
 
 	fmt.Printf("Analyzed %d failures on %v over %.0f days.\n\n", study.Records, study.System, study.SpanDays)
@@ -74,5 +89,8 @@ func main() {
 	if rows, err := tsubame.TTRSignificanceByCategory(failureLog, 10); err == nil {
 		fmt.Println()
 		fmt.Print(tsubame.RenderTTRSignificance(study.System.String(), rows))
+	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -33,10 +33,15 @@ func main() {
 		key        = flag.String("key", "", "pseudonymization key (required)")
 		dropCauses = flag.Bool("drop-causes", false, "remove software root-locus annotations")
 		coarsen    = flag.Bool("coarsen-times", false, "truncate occurrence times to whole days")
+		manifest   = cli.ManifestFlag()
 	)
 	flag.Parse()
-	if *key == "" {
-		log.Fatal("-key is required")
+	cli.CheckFlags(
+		cli.RequiredString("key", *key),
+	)
+	run, err := cli.StartRun("tsubame-anonymize", *manifest, "")
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var r io.Reader = os.Stdin
@@ -54,6 +59,9 @@ func main() {
 	failureLog, err := cli.ReadLog(r, fmtName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if m := run.Manifest(); m != nil {
+		m.SetRecordCount("records", failureLog.Len())
 	}
 
 	anon, err := tsubame.AnonymizeLog(failureLog, failures.AnonymizeOptions{
@@ -79,6 +87,9 @@ func main() {
 		w = f
 	}
 	if err := cli.WriteLog(w, anon, fmtName); err != nil {
+		log.Fatal(err)
+	}
+	if err := run.Finish(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -30,12 +30,25 @@ func main() {
 		beforePath = flag.String("before", "", "before-period log file")
 		afterPath  = flag.String("after", "", "after-period log file")
 		alpha      = flag.Float64("alpha", 0.05, "significance level for the improvement verdict")
+		manifest   = cli.ManifestFlag()
 	)
 	flag.Parse()
+	cli.CheckFlags(
+		cli.FractionInOpenUnit("alpha", *alpha),
+	)
+	run, err := cli.StartRun("tsubame-diff", *manifest, "")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	before, after, err := loadPeriods(*beforePath, *afterPath, *systemName, *seed, *splitStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if m := run.Manifest(); m != nil {
+		m.AddSeed(*seed)
+		m.SetRecordCount("before_records", before.Len())
+		m.SetRecordCount("after_records", after.Len())
 	}
 	d, err := tsubame.DiffPeriods(before, after)
 	if err != nil {
@@ -62,6 +75,9 @@ func main() {
 			break
 		}
 		fmt.Printf("  %-14s %+6.2f%%  (%.2f%% -> %.2f%%)\n", r.Category, r.Delta, r.OldPercent, r.NewPercent)
+	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -30,12 +30,24 @@ func main() {
 		in         = flag.String("in", "", "input CSV log (default: synthetic)")
 		fromStr    = flag.String("from", "", "period start, YYYY-MM-DD (default: 30 days before log end)")
 		days       = flag.Int("days", 30, "period length in days")
+		manifest   = cli.ManifestFlag()
 	)
 	flag.Parse()
+	cli.CheckFlags(
+		cli.PositiveInt("days", *days),
+	)
+	run, err := cli.StartRun("tsubame-digest", *manifest, "")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	failureLog, err := cli.LoadLog(*in, *systemName, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if m := run.Manifest(); m != nil {
+		m.AddSeed(*seed)
+		m.SetRecordCount("records", failureLog.Len())
 	}
 	_, logEnd, _ := failureLog.Window()
 	from := logEnd.AddDate(0, 0, -*days)
@@ -145,6 +157,12 @@ func main() {
 		if to.Sub(lastMulti) <= 72*time.Hour {
 			fmt.Println("ALERT: inside the 72 h multi-GPU clustering window — expect follow-ups (Figure 8).")
 		}
+	}
+	if m := run.Manifest(); m != nil {
+		m.SetRecordCount("period_records", period.Len())
+	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }
 

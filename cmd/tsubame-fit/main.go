@@ -23,6 +23,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/dist"
 	"repro/internal/failures"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -34,12 +35,26 @@ func main() {
 		in         = flag.String("in", "", "input CSV log (default: synthetic)")
 		minCount   = flag.Int("min", 10, "minimum records for a per-category fit")
 		para       = flag.Int("parallel", 0, "fit worker-pool width (0 = all cores, 1 = sequential)")
+		manifest   = cli.ManifestFlag()
 	)
 	flag.Parse()
+	cli.CheckFlags(
+		cli.PositiveInt("min", *minCount),
+		cli.NonNegativeInt("parallel", *para),
+	)
+	run, err := cli.StartRun("tsubame-fit", *manifest, "")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	failureLog, err := cli.LoadLog(*in, *systemName, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if m := run.Manifest(); m != nil {
+		m.AddSeed(*seed)
+		m.PoolWidth = parallel.Width(*para, 0)
+		m.SetRecordCount("records", failureLog.Len())
 	}
 
 	// Assemble every sample first, then fit the whole batch on the pool.
@@ -81,6 +96,9 @@ func main() {
 	for i, sf := range fitted {
 		fmt.Printf("\n%s:\n", titles[i])
 		printFits(sf)
+	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -33,25 +33,42 @@ func main() {
 		out           = flag.String("out", "", "output file (default stdout); with -runs > 1, a pattern containing %d for the seed")
 		profilePath   = flag.String("profile", "", "custom calibration profile JSON (overrides -system)")
 		exportDefault = flag.Bool("export-profile", false, "print the -system profile as JSON and exit (starting point for -profile)")
+		manifest      = cli.ManifestFlag()
+		debugAddr     = cli.DebugAddrFlag()
 	)
 	flag.Parse()
-
-	if *runs < 1 {
-		log.Fatalf("-runs must be >= 1 (got %d)", *runs)
+	cli.CheckFlags(
+		cli.PositiveInt("runs", *runs),
+		cli.NonNegativeInt("parallel", *parallelism),
+	)
+	run, err := cli.StartRun("tsubame-gen", *manifest, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
 	}
+	if m := run.Manifest(); m != nil {
+		m.AddSeedRange(*seed, *runs)
+		m.PoolWidth = parallel.Width(*parallelism, *runs)
+	}
+
 	if *runs > 1 {
-		if err := generateRuns(*profilePath, *systemName, *seed, *runs, *parallelism, *format, *out); err != nil {
+		if err := generateRuns(run, *profilePath, *systemName, *seed, *runs, *parallelism, *format, *out); err != nil {
+			log.Fatal(err)
+		}
+		if err := run.Finish(); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	failureLog, err := buildLog(*profilePath, *systemName, *seed, *exportDefault)
+	failureLog, err := buildLog(run, *profilePath, *systemName, *seed, *exportDefault)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if failureLog == nil {
 		return // -export-profile already printed
+	}
+	if m := run.Manifest(); m != nil {
+		m.SetRecordCount("records", failureLog.Len())
 	}
 
 	var w io.Writer = os.Stdout
@@ -73,15 +90,18 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %d %v failures to %s\n", failureLog.Len(), failureLog.System(), *out)
 	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // generateRuns produces runs logs with consecutive seeds, generating
 // across the worker pool and writing one file per seed.
-func generateRuns(profilePath, systemName string, firstSeed int64, runs, parallelism int, format, out string) error {
+func generateRuns(run *cli.Run, profilePath, systemName string, firstSeed int64, runs, parallelism int, format, out string) error {
 	if !strings.Contains(out, "%d") {
 		return fmt.Errorf("-runs %d needs -out containing %%d for the seed (got %q)", runs, out)
 	}
-	profile, err := resolveProfile(profilePath, systemName)
+	profile, err := resolveProfile(run, profilePath, systemName)
 	if err != nil {
 		return err
 	}
@@ -93,6 +113,7 @@ func generateRuns(profilePath, systemName string, firstSeed int64, runs, paralle
 	if err != nil {
 		return err
 	}
+	total := 0
 	for i, failureLog := range logs {
 		name := fmt.Sprintf(out, seeds[i])
 		f, err := os.Create(name)
@@ -106,7 +127,12 @@ func generateRuns(profilePath, systemName string, firstSeed int64, runs, paralle
 		if err := f.Close(); err != nil {
 			return err
 		}
+		total += failureLog.Len()
 		fmt.Fprintf(os.Stderr, "wrote %d %v failures to %s\n", failureLog.Len(), failureLog.System(), name)
+	}
+	if m := run.Manifest(); m != nil {
+		m.SetRecordCount("records", total)
+		m.SetRecordCount("logs", len(logs))
 	}
 	fmt.Fprintf(os.Stderr, "generated %d logs (seeds %d..%d) with parallelism %d\n",
 		runs, firstSeed, firstSeed+int64(runs)-1, parallel.Width(parallelism, runs))
@@ -114,8 +140,19 @@ func generateRuns(profilePath, systemName string, firstSeed int64, runs, paralle
 }
 
 // resolveProfile loads the custom profile file or the built-in profile of
-// the named system.
-func resolveProfile(profilePath, systemName string) (*tsubame.Profile, error) {
+// the named system, stamping the choice into the run manifest.
+func resolveProfile(run *cli.Run, profilePath, systemName string) (*tsubame.Profile, error) {
+	profile, err := loadProfile(profilePath, systemName)
+	if err != nil {
+		return nil, err
+	}
+	if m := run.Manifest(); m != nil {
+		m.Profile = profile.Name
+	}
+	return profile, nil
+}
+
+func loadProfile(profilePath, systemName string) (*tsubame.Profile, error) {
 	if profilePath != "" {
 		f, err := os.Open(profilePath)
 		if err != nil {
@@ -134,7 +171,7 @@ func resolveProfile(profilePath, systemName string) (*tsubame.Profile, error) {
 // buildLog resolves the generation source: a custom profile file, or the
 // built-in profile of the named system. With exportDefault it prints the
 // built-in profile as JSON to stdout and returns a nil log.
-func buildLog(profilePath, systemName string, seed int64, exportDefault bool) (*tsubame.Log, error) {
+func buildLog(run *cli.Run, profilePath, systemName string, seed int64, exportDefault bool) (*tsubame.Log, error) {
 	if exportDefault {
 		sys, err := cli.ParseSystem(systemName)
 		if err != nil {
@@ -146,7 +183,7 @@ func buildLog(profilePath, systemName string, seed int64, exportDefault bool) (*
 		}
 		return nil, tsubame.WriteProfile(os.Stdout, profile)
 	}
-	profile, err := resolveProfile(profilePath, systemName)
+	profile, err := resolveProfile(run, profilePath, systemName)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	tsubame "repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func main() {
 		t3Path     = flag.String("t3", "", "Tsubame-3 log CSV (default: synthetic)")
 		markdown   = flag.Bool("markdown", false, "emit a markdown document instead of text plots")
 		extensions = flag.Bool("extensions", false, "append the extension analyses (drift, spatial, survival, rolling MTBF)")
+		manifest   = cli.ManifestFlag()
 	)
 	flag.Parse()
+	run, err := cli.StartRun("tsubame-report", *manifest, "")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t2, t3, err := loadLogs(*seed, *t2Path, *t3Path)
 	if err != nil {
@@ -39,8 +45,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if m := run.Manifest(); m != nil {
+		m.AddSeed(*seed)
+		m.SetRecordCount("t2_records", t2.Len())
+		m.SetRecordCount("t3_records", t3.Len())
+	}
 	if *markdown {
 		fmt.Print(tsubame.RenderMarkdownReport(cmp))
+		if err := run.Finish(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	fmt.Print(tsubame.RenderFullReport(cmp))
@@ -59,6 +73,9 @@ func main() {
 				fmt.Println()
 			}
 		}
+	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	tsubame "repro"
 	"repro/internal/cli"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 )
 
@@ -40,8 +41,26 @@ func main() {
 		restart    = flag.Float64("restart-cost", 0.2, "restart cost in hours")
 		proactive  = flag.Float64("proactive", 0, "repair-duration factor for alarm-predicted failures (0 = off, e.g. 0.5)")
 		alarmHours = flag.Float64("alarm", 24, "proactive alarm window in hours")
+		manifest   = cli.ManifestFlag()
+		debugAddr  = cli.DebugAddrFlag()
 	)
 	flag.Parse()
+	cli.CheckFlags(
+		cli.PositiveInt("trials", *trials),
+		cli.NonNegativeInt("parallel", *para),
+		cli.PositiveFloat("horizon", *horizon),
+		cli.NonNegativeInt("crews", *crews),
+		cli.NonNegativeInt("stock", *stock),
+		cli.NonNegativeFloat("lead", *lead),
+		cli.PositiveFloat("ckpt-cost", *ckptCost),
+		cli.NonNegativeFloat("restart-cost", *restart),
+		cli.NonNegativeFloat("proactive", *proactive),
+		cli.PositiveFloat("alarm", *alarmHours),
+	)
+	obsRun, err := cli.StartRun("tsubame-sim", *manifest, *debugAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	sys, err := cli.ParseSystem(*systemName)
 	if err != nil {
@@ -74,8 +93,16 @@ func main() {
 	// Parts policies are stateful, so each trial builds a fresh one.
 	partsFor := func() (tsubame.PartsPolicy, error) { return buildParts(*sparesKind, *stock, *lead) }
 
+	if m := obsRun.Manifest(); m != nil {
+		m.AddSeedRange(*seed, *trials)
+		m.PoolWidth = parallel.Width(*para, *trials)
+		m.SetRecordCount("fitted_records", failureLog.Len())
+	}
 	if *trials > 1 {
-		runTrials(sys, cfg, *seed, *trials, *para, partsFor)
+		runTrials(obsRun, sys, cfg, *seed, *trials, *para, partsFor)
+		if err := obsRun.Finish(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -87,6 +114,9 @@ func main() {
 	res, err := tsubame.RunSimulation(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if m := obsRun.Manifest(); m != nil {
+		m.SetRecordCount("failures", res.Failures)
 	}
 
 	fmt.Printf("Simulated %v for %.0f h: %d failures, %d repairs completed.\n",
@@ -128,12 +158,15 @@ func main() {
 			fmt.Printf("  interval %6.2f h -> efficiency %.4f\n", tau, eff)
 		}
 	}
+	if err := obsRun.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // runTrials replicates the simulation across consecutive seeds on a
 // bounded worker pool and prints per-trial lines plus the across-trial
 // aggregate.
-func runTrials(sys tsubame.System, cfg tsubame.SimConfig, firstSeed int64, trials, parallelism int, partsFor func() (tsubame.PartsPolicy, error)) {
+func runTrials(obsRun *cli.Run, sys tsubame.System, cfg tsubame.SimConfig, firstSeed int64, trials, parallelism int, partsFor func() (tsubame.PartsPolicy, error)) {
 	seeds := make([]int64, trials)
 	for i := range seeds {
 		seeds[i] = firstSeed + int64(i)
@@ -145,6 +178,10 @@ func runTrials(sys tsubame.System, cfg tsubame.SimConfig, firstSeed int64, trial
 	st, err := tsubame.SummarizeSimulationTrials(results)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if m := obsRun.Manifest(); m != nil {
+		m.SetRecordCount("failures", st.TotalFailures)
+		m.SetRecordCount("trials", st.Trials)
 	}
 	fmt.Printf("Simulated %v for %.0f h across %d trials (seeds %d..%d).\n",
 		sys, cfg.HorizonHours, trials, seeds[0], seeds[len(seeds)-1])

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// ManifestFlag registers the shared -manifest flag: the path the tool
+// writes its JSON run manifest to ("-" for stdout). Every cmd/tsubame-*
+// binary registers it so run provenance is uniform across tools.
+func ManifestFlag() *string {
+	return flag.String("manifest", "", `write a JSON run manifest (provenance + per-phase timings) to this file ("-" for stdout)`)
+}
+
+// DebugAddrFlag registers the shared -debug-addr flag of the
+// long-running tools: the address the pprof/expvar debug endpoint
+// listens on.
+func DebugAddrFlag() *string {
+	return flag.String("debug-addr", "", "serve pprof/expvar debug endpoints on this address (e.g. localhost:6060)")
+}
+
+// Run couples the optional observability outputs of one CLI invocation:
+// the run manifest under construction and the debug endpoint's shutdown
+// hook. The zero-config invocation (no -manifest, no -debug-addr) costs
+// nothing: collection stays disabled and Finish is a no-op.
+type Run struct {
+	manifest     *obs.Manifest
+	manifestPath string
+	shutdown     func() error
+}
+
+// StartRun wires the shared observability flags for the named tool:
+// with a manifest path, metric collection starts and a manifest begins
+// accumulating provenance; with a debug address, the pprof/expvar
+// endpoint starts serving in the background.
+func StartRun(tool, manifestPath, debugAddr string) (*Run, error) {
+	r := &Run{manifestPath: manifestPath}
+	if manifestPath != "" {
+		r.manifest = obs.NewManifest(tool)
+		r.manifest.Args = os.Args[1:]
+	}
+	if debugAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(debugAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug endpoints on http://%s/debug/\n", tool, bound)
+		r.shutdown = shutdown
+	}
+	return r, nil
+}
+
+// Manifest returns the manifest under construction, nil when -manifest
+// was not given; callers nil-check before stamping provenance fields.
+func (r *Run) Manifest() *obs.Manifest { return r.manifest }
+
+// Finish writes the manifest (when one was requested) and stops the
+// debug endpoint. Call it once the tool's real work succeeded.
+func (r *Run) Finish() error {
+	if r.manifest != nil {
+		if err := r.manifest.WriteFile(r.manifestPath); err != nil {
+			return err
+		}
+	}
+	if r.shutdown != nil {
+		return r.shutdown()
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/failures"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/system"
 )
@@ -19,6 +20,13 @@ type Options struct {
 	Parallelism int
 }
 
+// analysis is one named phase of the battery: the name keys the phase's
+// observability span ("core/<name>", see docs/OBSERVABILITY.md).
+type analysis struct {
+	name string
+	fn   func(context.Context) error
+}
+
 // Run executes the full analysis battery on one log, fanning the
 // independent per-figure analyses out across a bounded worker pool. Every
 // analysis reads the immutable log and writes only its own Study field,
@@ -26,122 +34,133 @@ type Options struct {
 // in the sequential battery's order and returns the lowest-index error,
 // so failure behavior matches NewStudy as well.
 func Run(log *failures.Log, opts Options) (*Study, error) {
+	defer obs.StartSpan("core/run").End()
 	if log.Len() < 2 {
 		return nil, ErrTooFewRecords
 	}
 	s := &Study{System: log.System(), Records: log.Len(), SpanDays: log.Span().Hours() / 24}
 	width := opts.Parallelism
+	obs.SetGauge("core/pool_width", float64(parallel.Width(width, 0)))
+	obs.Add("core/records", int64(log.Len()))
 
-	// Tasks are listed in NewStudy's historical order; best-effort
+	// Phases are listed in NewStudy's historical order; best-effort
 	// analyses swallow their errors exactly as the sequential path does.
-	tasks := []func(context.Context) error{
-		func(context.Context) error {
+	phases := []analysis{
+		{"breakdown", func(context.Context) error {
 			var err error
 			if s.Breakdown, err = CategoryBreakdown(log); err != nil {
 				return fmt.Errorf("core: category breakdown: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"software-causes", func(context.Context) error {
 			// Root loci are only recorded on systems that report them.
 			if top, err := SoftwareCauses(log, 16); err == nil {
 				s.SoftwareTop = top
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"node-counts", func(context.Context) error {
 			var err error
 			if s.NodeCounts, err = NodeFailureCounts(log); err != nil {
 				return fmt.Errorf("core: node failure counts: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"multi-node-split", func(context.Context) error {
 			var err error
 			if s.MultiNodeSplit, err = MultiFailureNodeSplit(log); err != nil {
 				return fmt.Errorf("core: multi-failure node split: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"slot-shares", func(context.Context) error {
 			var err error
 			if s.SlotShares, err = GPUSlotDistribution(log); err != nil {
 				return fmt.Errorf("core: GPU slot distribution: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"involvement", func(context.Context) error {
 			var err error
 			if s.Involvement, err = MultiGPUInvolvement(log); err != nil {
 				return fmt.Errorf("core: multi-GPU involvement: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"tbf", func(context.Context) error {
 			var err error
 			if s.TBF, err = TBFAnalysis(log); err != nil {
 				return fmt.Errorf("core: TBF analysis: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"tbf-per-type", func(context.Context) error {
 			var err error
 			if s.TBFPerType, err = tbfByCategory(log, minPerTypeTBF, width); err != nil {
 				return fmt.Errorf("core: per-type TBF: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"multi-gpu-temporal", func(context.Context) error {
 			// A log can legitimately lack multi-GPU pairs; leave the
 			// field nil then.
 			if mg, err := MultiGPUTemporal(log, multiGPUWindowHours); err == nil {
 				s.MultiGPU = mg
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"ttr", func(context.Context) error {
 			var err error
 			if s.TTR, err = TTRAnalysis(log); err != nil {
 				return fmt.Errorf("core: TTR analysis: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"ttr-per-type", func(context.Context) error {
 			var err error
 			if s.TTRPerType, err = ttrByCategory(log, minPerTypeTTR, width); err != nil {
 				return fmt.Errorf("core: per-type TTR: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"seasonal", func(context.Context) error {
 			var err error
 			if s.Seasonal, err = MonthlySeasonality(log); err != nil {
 				return fmt.Errorf("core: monthly seasonality: %w", err)
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"seasonal-tests", func(context.Context) error {
 			var err error
 			if s.SeasonalTests, err = SeasonalAnalysis(log); err != nil {
 				return fmt.Errorf("core: seasonal analysis: %w", err)
 			}
 			return nil
-		},
+		}},
 		// Extensions are best-effort: externally supplied logs may use
 		// node identifiers outside the canonical topology or lack GPU
 		// attribution.
-		func(context.Context) error {
+		{"spatial", func(context.Context) error {
 			if spatial, err := spatialAnalysis(log, width); err == nil {
 				s.Spatial = spatial
 			}
 			return nil
-		},
-		func(context.Context) error {
+		}},
+		{"survival", func(context.Context) error {
 			if survival, err := GPUSurvival(log); err == nil {
 				s.Survival = survival
 			}
 			return nil
-		},
+		}},
+	}
+	tasks := make([]func(context.Context) error, len(phases))
+	for i, a := range phases {
+		a := a
+		tasks[i] = func(ctx context.Context) error {
+			defer obs.StartSpan("core/" + a.name).End()
+			return a.fn(ctx)
+		}
 	}
 	if err := parallel.Do(context.Background(), width, tasks...); err != nil {
 		return nil, err
@@ -149,6 +168,8 @@ func Run(log *failures.Log, opts Options) (*Study, error) {
 
 	// The proportionality metric consumes the TBF result, so it runs
 	// after the fan-out completes.
+	pep := obs.StartSpan("core/pep")
+	defer pep.End()
 	machine, err := system.ForSystem(log.System())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar panics on duplicate
+// names, and tests may start several debug servers in one process.
+var publishOnce sync.Once
+
+// PublishExpvar exports the live metric snapshot as the expvar variable
+// "tsubame" (alongside the standard memstats/cmdline vars).
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("tsubame", expvar.Func(func() any { return Take() }))
+	})
+}
+
+// ServeDebug enables collection, publishes the expvar snapshot, and
+// serves the standard debug endpoints (/debug/pprof/*, /debug/vars) on
+// addr in a background goroutine. It returns the bound address (useful
+// with ":0") and a shutdown func. The long-running CLIs expose it behind
+// -debug-addr.
+func ServeDebug(addr string) (bound string, shutdown func() error, err error) {
+	Enable(true)
+	PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug listener on %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else is
+		// reported through the server's ErrorLog default (stderr).
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -26,6 +26,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // DefaultParallelism is the pool width used when the caller passes a
@@ -118,7 +120,8 @@ func Do(ctx context.Context, parallelism int, tasks ...func(ctx context.Context)
 
 // run is the shared pool core: width-1 pools run inline (the sequential
 // path, no goroutines), wider pools dispatch indices in order to a fixed
-// set of workers.
+// set of workers. Each batch records a "parallel/batch" span plus item
+// and width telemetry when collection is on (near-zero cost otherwise).
 func run(ctx context.Context, parallelism, n int, fn func(ctx context.Context, i int) error) error {
 	if n == 0 {
 		return ctx.Err()
@@ -127,6 +130,9 @@ func run(ctx context.Context, parallelism, n int, fn func(ctx context.Context, i
 		ctx = context.Background()
 	}
 	width := Width(parallelism, n)
+	defer obs.StartSpan("parallel/batch").End()
+	obs.Add("parallel/items", int64(n))
+	obs.SetGauge("parallel/last_width", float64(width))
 	if width == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

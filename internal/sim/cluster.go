@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/failures"
+	"repro/internal/obs"
 )
 
 // Scope is the blast radius of a failure stream.
@@ -224,6 +225,7 @@ type procState struct {
 // Run executes the simulation described by cfg. Runs are fully
 // deterministic in (cfg, cfg.Seed).
 func Run(cfg Config) (*Result, error) {
+	defer obs.StartSpan("sim/run").End()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

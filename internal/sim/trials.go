@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -22,6 +23,7 @@ func RunTrials(cfg Config, seeds []int64, parallelism int, parts func() (PartsPo
 		return nil, fmt.Errorf("sim: RunTrials needs at least one seed")
 	}
 	return parallel.Map(context.Background(), parallelism, seeds, func(_ context.Context, i int, seed int64) (*Result, error) {
+		defer obs.StartSpan("sim/trial").End()
 		trial := cfg
 		trial.Seed = seed
 		trial.Parts = nil

@@ -96,12 +96,26 @@ func Median(xs []float64) float64 {
 	return Quantile(xs, 0.5)
 }
 
+// hasNaN reports whether xs contains a NaN. sort.Float64s places NaNs
+// first, so quantiles of a NaN-containing sample would interpolate
+// against garbage order statistics — every quantile function must check
+// this before sorting.
+func hasNaN(xs []float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return true
+		}
+	}
+	return false
+}
+
 // Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
 // interpolation between order statistics (the R type-7 definition, which is
-// also the numpy default). It returns NaN if xs is empty or p is outside
-// [0, 1].
+// also the numpy default). It returns NaN if xs is empty, contains NaN, or
+// p is outside [0, 1]. NaN elements poison the result rather than being
+// sorted to one end and silently shifting every order statistic.
 func Quantile(xs []float64, p float64) float64 {
-	if len(xs) == 0 || p < 0 || p > 1 || math.IsNaN(p) {
+	if len(xs) == 0 || p < 0 || p > 1 || math.IsNaN(p) || hasNaN(xs) {
 		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
@@ -126,10 +140,11 @@ func quantileSorted(sorted []float64, p float64) float64 {
 }
 
 // Quantiles returns the quantiles of xs at each probability in ps, sorting
-// the sample only once. Invalid probabilities yield NaN entries.
+// the sample only once. Invalid probabilities yield NaN entries; a sample
+// that is empty or contains NaN yields all-NaN output.
 func Quantiles(xs []float64, ps []float64) []float64 {
 	out := make([]float64, len(ps))
-	if len(xs) == 0 {
+	if len(xs) == 0 || hasNaN(xs) {
 		for i := range out {
 			out[i] = math.NaN()
 		}
@@ -172,9 +187,20 @@ func (s Summary) WhiskerLow() float64 { return math.Max(s.Min, s.Q1-1.5*s.IQR())
 func (s Summary) WhiskerHigh() float64 { return math.Min(s.Max, s.Q3+1.5*s.IQR()) }
 
 // Summarize computes a Summary of xs. It returns ErrEmpty if xs is empty.
+// A sample containing NaN yields a Summary with N set and every statistic
+// NaN: the order statistics of such a sample are undefined, and returning
+// NaN keeps the poison visible instead of reporting a quietly shifted
+// five-number summary.
 func Summarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrEmpty
+	}
+	if hasNaN(xs) {
+		nan := math.NaN()
+		return Summary{
+			N: len(xs), Mean: nan, StdDev: nan,
+			Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan,
+		}, nil
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

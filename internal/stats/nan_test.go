@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression tests for NaN poisoning of the order statistics. Pre-fix,
+// sort.Float64s placed NaN elements first, so a NaN-containing sample
+// returned finite but silently shifted quantiles — Quantile([NaN,1..9],
+// 0) reported NaN only by accident of position while interior quantiles
+// interpolated against displaced order statistics and came back wrong
+// with no signal at all.
+
+var nanSample = []float64{3, math.NaN(), 1, 4, 1, 5, 9, 2, 6}
+
+func TestQuantilePropagatesNaN(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := Quantile(nanSample, p); !math.IsNaN(got) {
+			t.Errorf("Quantile(sample with NaN, %v) = %v, want NaN", p, got)
+		}
+	}
+	// A clean sample is unaffected.
+	if got := Quantile([]float64{1, 2, 3}, 0.5); got != 2 {
+		t.Errorf("Quantile(clean, 0.5) = %v, want 2", got)
+	}
+}
+
+func TestMedianPropagatesNaN(t *testing.T) {
+	if got := Median(nanSample); !math.IsNaN(got) {
+		t.Errorf("Median(sample with NaN) = %v, want NaN", got)
+	}
+}
+
+func TestQuantilesPropagateNaN(t *testing.T) {
+	got := Quantiles(nanSample, []float64{0.1, 0.5, 0.9})
+	for i, q := range got {
+		if !math.IsNaN(q) {
+			t.Errorf("Quantiles(sample with NaN)[%d] = %v, want NaN", i, q)
+		}
+	}
+}
+
+func TestSummarizePropagatesNaN(t *testing.T) {
+	s, err := Summarize(nanSample)
+	if err != nil {
+		t.Fatalf("Summarize(sample with NaN) error = %v, want nil", err)
+	}
+	if s.N != len(nanSample) {
+		t.Errorf("N = %d, want %d", s.N, len(nanSample))
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean, "StdDev": s.StdDev, "Min": s.Min,
+		"Q1": s.Q1, "Median": s.Median, "Q3": s.Q3, "Max": s.Max,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("Summary.%s = %v, want NaN", name, v)
+		}
+	}
+	// Empty samples still error rather than returning a NaN summary.
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+// TestQuantileSilentShiftRegression reproduces the concrete pre-fix wrong
+// answer: with one NaN sorted to the front of ten samples, the 0.5
+// quantile of 1..9 came back as 4.5 instead of 5 — finite, plausible, and
+// wrong. It must be NaN.
+func TestQuantileSilentShiftRegression(t *testing.T) {
+	xs := []float64{9, 8, 7, 6, math.NaN(), 5, 4, 3, 2, 1}
+	got := Quantile(xs, 0.5)
+	if !math.IsNaN(got) {
+		t.Errorf("Quantile = %v; pre-fix this was a silently shifted finite value, want NaN", got)
+	}
+}

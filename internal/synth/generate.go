@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/failures"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -15,9 +16,11 @@ import (
 // fully determined by (profile, seed): the same inputs always yield the
 // identical log, which keeps every downstream figure reproducible.
 func Generate(p *Profile, seed int64) (*failures.Log, error) {
+	defer obs.StartSpan("synth/generate").End()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	obs.Add("synth/records", int64(p.TotalFailures()))
 	// Independent substreams per generation stage: adding a sampling site
 	// to one stage does not disturb the others.
 	var (

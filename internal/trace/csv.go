@@ -4,9 +4,11 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -16,6 +18,25 @@ import (
 
 // csvHeader is the canonical column order of the CSV schema.
 var csvHeader = []string{"id", "system", "time", "recovery_hours", "category", "node", "gpus", "software_cause"}
+
+// recoveryUnit is the canonical resolution of the recovery_hours column:
+// 0.0001 h = 360 ms. Both WriteCSV and ReadCSV round to this grid, so a
+// Write -> Read -> Write cycle is byte-identical — previously the read
+// side computed hours*time.Hour in floating point and landed off-grid,
+// so every round trip drifted the stored duration.
+const recoveryUnit = 360 * time.Millisecond
+
+// canonicalRecovery snaps a duration to the recovery grid.
+func canonicalRecovery(d time.Duration) time.Duration {
+	return time.Duration(math.Round(float64(d)/float64(recoveryUnit))) * recoveryUnit
+}
+
+// formatRecovery renders a duration as decimal hours at the canonical
+// four-digit resolution.
+func formatRecovery(d time.Duration) string {
+	grid := math.Round(float64(d) / float64(recoveryUnit))
+	return strconv.FormatFloat(grid/1e4, 'f', 4, 64)
+}
 
 // WriteCSV writes the log to w in the canonical CSV schema, one row per
 // record plus a header row. Times are RFC 3339 in UTC; recovery is decimal
@@ -30,7 +51,7 @@ func WriteCSV(w io.Writer, log *failures.Log) error {
 			strconv.Itoa(r.ID),
 			r.System.String(),
 			r.Time.UTC().Format(time.RFC3339),
-			strconv.FormatFloat(r.Recovery.Hours(), 'f', 4, 64),
+			formatRecovery(r.Recovery),
 			string(r.Category),
 			r.Node,
 			joinGPUs(r.GPUs),
@@ -49,15 +70,19 @@ func WriteCSV(w io.Writer, log *failures.Log) error {
 
 // ReadCSV parses a failure log in the canonical CSV schema. All records
 // must belong to the same system; the log is validated and time-sorted.
+//
+// The reader is tolerant of the artifacts spreadsheet exports introduce:
+// a leading UTF-8 byte-order mark, CRLF line endings, and whitespace
+// padding around field values.
 func ReadCSV(r io.Reader) (*failures.Log, error) {
-	cr := csv.NewReader(r)
+	cr := csv.NewReader(stripBOM(r))
 	cr.FieldsPerRecord = len(csvHeader)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
 	}
 	for i, col := range csvHeader {
-		if header[i] != col {
+		if strings.TrimSpace(header[i]) != col {
 			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], col)
 		}
 	}
@@ -92,7 +117,21 @@ func ReadCSV(r io.Reader) (*failures.Log, error) {
 	return log, nil
 }
 
+// stripBOM removes a leading UTF-8 byte-order mark, which Excel and
+// PowerShell prepend to CSV exports; encoding/csv would otherwise fold it
+// into the first header column.
+func stripBOM(r io.Reader) io.Reader {
+	br := bufio.NewReader(r)
+	if lead, err := br.Peek(3); err == nil && lead[0] == 0xEF && lead[1] == 0xBB && lead[2] == 0xBF {
+		br.Discard(3)
+	}
+	return br
+}
+
 func parseRow(row []string) (failures.Failure, error) {
+	for i, field := range row {
+		row[i] = strings.TrimSpace(field)
+	}
 	id, err := strconv.Atoi(row[0])
 	if err != nil {
 		return failures.Failure{}, fmt.Errorf("bad id %q: %w", row[0], err)
@@ -112,6 +151,10 @@ func parseRow(row []string) (failures.Failure, error) {
 	if hours < 0 {
 		return failures.Failure{}, fmt.Errorf("negative recovery_hours %v", hours)
 	}
+	grid := math.Round(hours * 1e4)
+	if grid > float64(math.MaxInt64/int64(recoveryUnit)) {
+		return failures.Failure{}, fmt.Errorf("recovery_hours %v overflows the duration range", hours)
+	}
 	category, err := failures.ParseCategory(system, row[4])
 	if err != nil {
 		return failures.Failure{}, err
@@ -124,7 +167,7 @@ func parseRow(row []string) (failures.Failure, error) {
 		ID:            id,
 		System:        system,
 		Time:          t,
-		Recovery:      time.Duration(hours * float64(time.Hour)),
+		Recovery:      time.Duration(grid) * recoveryUnit,
 		Category:      category,
 		Node:          row[5],
 		GPUs:          gpus,

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tsubame_test
+
+const raceEnabled = false

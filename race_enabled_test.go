@@ -1,0 +1,8 @@
+//go:build race
+
+package tsubame_test
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumented atomics make wall-clock bounds on the obs hot path
+// meaningless.
+const raceEnabled = true
