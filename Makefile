@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fuzz-smoke vet lint ci clean
+# The tier-1 perf benchmark set guarded by the regression gate
+# (bench_perf_test.go; every benchmark there is named BenchmarkPerf*).
+PERF_BENCH = ^BenchmarkPerf
+PERF_BENCHFLAGS = -bench='$(PERF_BENCH)' -benchtime=5x -count=3 -run='^$$'
+
+.PHONY: build test race bench bench-baseline bench-check bench-smoke fuzz-smoke vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -27,6 +32,21 @@ race:
 ## paper's tables/figures as metrics; slow)
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+## bench-baseline: run the tier-1 perf set and record it as the local
+## regression baseline (BENCH_baseline.json). Refresh after intentional
+## perf changes, on the machine you develop on.
+bench-baseline:
+	$(GO) test $(PERF_BENCHFLAGS) . | tee BENCH_perf.txt
+	$(GO) run ./cmd/tsubame-benchcheck record -in BENCH_perf.txt -out BENCH_baseline.json
+
+## bench-check: run the tier-1 perf set and fail on any benchmark more
+## than 15% slower than BENCH_baseline.json. ns/op is machine-dependent,
+## so compare against a baseline recorded on the same machine; CI runs
+## the hermetic variant (merge-base vs head on one runner).
+bench-check:
+	$(GO) test $(PERF_BENCHFLAGS) . | tee BENCH_perf.txt
+	$(GO) run ./cmd/tsubame-benchcheck check -baseline BENCH_baseline.json -current BENCH_perf.txt -threshold 15
 
 ## bench-smoke: every benchmark exactly once, machine-readable; a
 ## panicking or hanging benchmark fails this target. Produces
@@ -51,4 +71,4 @@ lint:
 ci: build vet test race bench-smoke fuzz-smoke
 
 clean:
-	rm -f BENCH_ci.json
+	rm -f BENCH_ci.json BENCH_perf.txt

@@ -1,0 +1,242 @@
+// Tier-1 performance benchmark set: the benchmarks guarded by the
+// regression gate (make bench-baseline / make bench-check, backed by
+// cmd/tsubame-benchcheck and BENCH_baseline.json). Every benchmark here
+// is named BenchmarkPerf* so the gate can select exactly this set with
+// -bench='^BenchmarkPerf'.
+//
+// The workload is a 100k-record synthetic Tsubame-3 log: the published
+// profile with every exact count scaled by perfScale (296 x 338 =
+// 100,048 records), the fleet scaled to match so the per-node
+// failure-count distribution stays on the paper's PMF. The scaled log is
+// generated once per process and shared; benchmarks that need mutable
+// input copy it.
+package tsubame_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	tsubame "repro"
+	"repro/internal/dist"
+	"repro/internal/failures"
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// perfScale multiplies every exact count of the Tsubame-3 profile:
+// 338 records x 296 = 100,048, the "100k-record log" of the perf
+// acceptance criteria.
+const perfScale = 296
+
+// scaledTsubame3Profile returns the Tsubame-3 calibration with every
+// exact count multiplied by factor. Categories and SoftwareCauses scale
+// by the same integer, so the profile's cause-sum invariant holds by
+// construction; NodeCount scales too so the affected-node draw (which
+// needs roughly total/E[failures per node] distinct nodes) still fits
+// the fleet.
+func scaledTsubame3Profile(factor int) *synth.Profile {
+	p := synth.Tsubame3Profile()
+	for i := range p.Categories {
+		p.Categories[i].Count *= factor
+	}
+	for i := range p.SoftwareCauses {
+		p.SoftwareCauses[i].Count *= factor
+	}
+	p.NodeCount *= factor
+	p.SoftwareOnMultiNodes *= factor
+	return p
+}
+
+// perf100k lazily generates the shared 100k-record log. Generation is
+// deterministic in (profile, benchSeed) and costs a few seconds, so it
+// runs once per test process.
+var perf100k struct {
+	once sync.Once
+	log  *failures.Log
+	err  error
+}
+
+func perfLog(b *testing.B) *failures.Log {
+	b.Helper()
+	perf100k.once.Do(func() {
+		perf100k.log, perf100k.err = synth.Generate(scaledTsubame3Profile(perfScale), benchSeed)
+	})
+	if perf100k.err != nil {
+		b.Fatal(perf100k.err)
+	}
+	return perf100k.log
+}
+
+// BenchmarkPerfIndexedStudy100k is the headline acceptance benchmark:
+// the full RQ1-RQ5 battery (core.Run through the shared memoized index)
+// over the 100k-record log.
+func BenchmarkPerfIndexedStudy100k(b *testing.B) {
+	log := perfLog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsubame.Analyze(log); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(log.Len()), "records")
+}
+
+// BenchmarkPerfIndexedStudy100kParallel fans the same battery out across
+// every core; the phases share one index, so the parallel speedup now
+// comes on top of the single-sort savings rather than re-deriving the
+// same partitions per phase.
+func BenchmarkPerfIndexedStudy100kParallel(b *testing.B) {
+	log := perfLog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsubame.AnalyzeParallel(log, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfIndexBuild100k measures a cold index: one View built and
+// every facet the analysis battery touches forced exactly once. This is
+// the fixed cost the memoization amortizes across phases.
+func BenchmarkPerfIndexBuild100k(b *testing.B) {
+	log := perfLog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := index.New(log)
+		ix.Records()
+		ix.NodeCounts()
+		ix.Nodes()
+		ix.GPURecords()
+		ix.SortedInterarrivalHours()
+		ix.SortedRecoveryHours()
+		ix.SortedHardwareRecoveryHours()
+		ix.SortedSoftwareRecoveryHours()
+		ix.SortedMonthlyRecoveryHours()
+		ix.MonthlyCounts()
+		for cat := range ix.CategoryCounts() {
+			ix.SortedCategoryGaps(cat)
+			ix.SortedCategoryRecovery(cat)
+		}
+	}
+}
+
+// BenchmarkPerfSummarize100k measures the single-sort descriptive
+// summary on an unsorted 100k sample (the allocation-regression test in
+// internal/stats pins its allocation count).
+func BenchmarkPerfSummarize100k(b *testing.B) {
+	hours := perfLog(b).RecoveryHours()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Summarize(hours); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfQuantilesSorted100k measures the multi-quantile sorted
+// fast path on the shared recovery arena: no sort, no per-call copy.
+func BenchmarkPerfQuantilesSorted100k(b *testing.B) {
+	sorted := index.New(perfLog(b)).SortedRecoveryHours()
+	ps := []float64{0.05, 0.25, 0.50, 0.75, 0.95, 0.99}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if qs := stats.QuantilesSorted(sorted, ps); len(qs) != len(ps) {
+			b.Fatal("wrong quantile count")
+		}
+	}
+}
+
+// BenchmarkPerfFitAll100k measures the fused distribution-fitting sweep
+// from an unsorted sample: one sort, then every family's log-likelihood
+// and KS statistic in a single pass each.
+func BenchmarkPerfFitAll100k(b *testing.B) {
+	hours := perfLog(b).RecoveryHours()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.FitAll(hours); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfFitAllSorted100k measures the same sweep entered through
+// a pre-sorted arena: the sort drops out entirely.
+func BenchmarkPerfFitAllSorted100k(b *testing.B) {
+	sorted := index.New(perfLog(b)).SortedRecoveryHours()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.FitAllSorted(sorted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// perfCSV renders the 100k log to CSV once for the reader benchmarks.
+var perfCSV struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+func perfCSVBytes(b *testing.B) []byte {
+	b.Helper()
+	log := perfLog(b)
+	perfCSV.once.Do(func() {
+		var buf bytes.Buffer
+		perfCSV.err = trace.WriteCSV(&buf, log)
+		perfCSV.data = buf.Bytes()
+	})
+	if perfCSV.err != nil {
+		b.Fatal(perfCSV.err)
+	}
+	return perfCSV.data
+}
+
+// BenchmarkPerfWriteCSV100k measures the serialization path (reused row
+// slice, At-indexed iteration — no Records() copy).
+func BenchmarkPerfWriteCSV100k(b *testing.B) {
+	log := perfLog(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.WriteCSV(&buf, log); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkPerfReadCSV100k measures ingestion through the pooled slurp
+// buffer, line-count pre-sizing, and encoding/csv row reuse.
+func BenchmarkPerfReadCSV100k(b *testing.B) {
+	data := perfCSVBytes(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfReadNDJSON100k is the NDJSON twin of the CSV reader
+// benchmark, through the same pooled path.
+func BenchmarkPerfReadNDJSON100k(b *testing.B) {
+	log := perfLog(b)
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf, log); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadNDJSON(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command tsubame-benchcheck is the benchmark regression gate. It parses
+// the plain text output of `go test -bench`, compares each benchmark's
+// ns/op against a baseline, and fails when any benchmark regressed by
+// more than a threshold.
+//
+// Two subcommands:
+//
+//	tsubame-benchcheck record -in bench.txt -out BENCH_baseline.json
+//	    Convert a benchmark run into a committed baseline file.
+//
+//	tsubame-benchcheck check -baseline FILE -current bench.txt [-threshold 15]
+//	    Compare a run against a baseline (JSON baseline or raw bench
+//	    text — sniffed from the content) and print a delta table. Exits
+//	    with status 1 on any regression beyond the threshold percent.
+//
+// When the same benchmark appears several times (go test -count=N), the
+// minimum ns/op is used: the minimum is the least noisy estimator of a
+// benchmark's true cost on a contended runner.
+//
+// Benchmarks present on only one side are reported but never fail the
+// gate, so adding or retiring a benchmark does not require lock-step
+// baseline updates; an empty intersection is a pass with a notice,
+// which lets CI compare against a merge-base that predates the suite.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "check":
+		err = check(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsubame-benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tsubame-benchcheck record -in bench.txt -out BENCH_baseline.json
+  tsubame-benchcheck check -baseline FILE -current bench.txt [-threshold 15]`)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	in := fs.String("in", "", "benchmark text output to read ('-' for stdin)")
+	out := fs.String("out", "BENCH_baseline.json", "baseline JSON to write")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := readInput(*in)
+	if err != nil {
+		return err
+	}
+	base, err := bench.ParseText(data)
+	if err != nil {
+		return err
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d benchmarks to %s\n", len(base.Benchmarks), *out)
+	return nil
+}
+
+func check(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline: JSON from 'record' or raw bench text")
+	currentPath := fs.String("current", "", "current benchmark text output ('-' for stdin)")
+	threshold := fs.Float64("threshold", 15, "regression threshold in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseData, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	base, err := bench.ParseAny(baseData)
+	if err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", *baselinePath, err)
+	}
+	curData, err := readInput(*currentPath)
+	if err != nil {
+		return err
+	}
+	cur, err := bench.ParseText(curData)
+	if err != nil {
+		return fmt.Errorf("parsing current %s: %w", *currentPath, err)
+	}
+	deltas := bench.Compare(base, cur, *threshold)
+	printTable(deltas, *threshold)
+	if n := countRegressions(deltas); n > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", n, *threshold)
+	}
+	return nil
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing input file (-in/-current)")
+	}
+	if path == "-" {
+		var buf []byte
+		for {
+			chunk := make([]byte, 64<<10)
+			n, err := os.Stdin.Read(chunk)
+			buf = append(buf, chunk[:n]...)
+			if err != nil {
+				return buf, nil
+			}
+		}
+	}
+	return os.ReadFile(path)
+}
+
+func countRegressions(deltas []bench.Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Verdict == bench.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+func printTable(deltas []bench.Delta, threshold float64) {
+	if len(deltas) == 0 {
+		fmt.Println("no benchmarks in common between baseline and current run; nothing to gate")
+		return
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	width := len("benchmark")
+	for _, d := range deltas {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	fmt.Printf("%-*s  %14s  %14s  %8s  %s\n", width, "benchmark", "baseline ns/op", "current ns/op", "delta", "verdict")
+	for _, d := range deltas {
+		switch d.Verdict {
+		case bench.OnlyBaseline:
+			fmt.Printf("%-*s  %14.0f  %14s  %8s  removed (not gated)\n", width, d.Name, d.Baseline, "-", "-")
+		case bench.OnlyCurrent:
+			fmt.Printf("%-*s  %14s  %14.0f  %8s  new (not gated)\n", width, d.Name, "-", d.Current, "-")
+		default:
+			fmt.Printf("%-*s  %14.0f  %14.0f  %+7.1f%%  %s\n", width, d.Name, d.Baseline, d.Current, d.DeltaPercent, d.Verdict)
+		}
+	}
+	fmt.Printf("gate: fail when delta > +%.0f%%\n", threshold)
+}

@@ -1,0 +1,172 @@
+// Package bench parses `go test -bench` text output and compares runs
+// against a baseline: the library behind cmd/tsubame-benchcheck and the
+// CI benchmark regression gate.
+//
+// Only the textual benchmark format is parsed (lines starting with
+// "Benchmark"); it is stable across Go releases, works with -count>1
+// (repeats collapse to the per-benchmark minimum, the least noisy
+// estimator on a shared runner), and needs no tooling beyond the go
+// toolchain itself.
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Baseline is one recorded benchmark run: benchmark name (with the
+// -GOMAXPROCS suffix stripped) to minimum observed ns/op.
+type Baseline struct {
+	// Note documents provenance (host, commit) — informational only.
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// ParseText extracts a Baseline from `go test -bench` text output.
+// Lines that are not benchmark result lines are ignored, so the full
+// verbose output (package headers, PASS/ok trailers, metric lines) can
+// be fed in unfiltered.
+func ParseText(data []byte) (*Baseline, error) {
+	base := &Baseline{Benchmarks: make(map[string]float64)}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, nsPerOp, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := base.Benchmarks[name]; !seen || nsPerOp < prev {
+			base.Benchmarks[name] = nsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: scanning output: %w", err)
+	}
+	return base, nil
+}
+
+// ParseAny accepts either a JSON baseline (as written by
+// tsubame-benchcheck record) or raw benchmark text, sniffed from the
+// content. This lets the CI gate compare two raw runs directly without
+// an intermediate record step.
+func ParseAny(data []byte) (*Baseline, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var base Baseline
+		if err := json.Unmarshal(trimmed, &base); err != nil {
+			return nil, fmt.Errorf("bench: parsing JSON baseline: %w", err)
+		}
+		if base.Benchmarks == nil {
+			base.Benchmarks = make(map[string]float64)
+		}
+		return &base, nil
+	}
+	return ParseText(data)
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   	     123	   456789 ns/op	  12 B/op ...
+//
+// Returns ok=false for anything else.
+func parseLine(line string) (name string, nsPerOp float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid line: name, iterations, value, "ns/op".
+	if len(fields) < 4 {
+		return "", 0, false
+	}
+	name = trimProcSuffix(fields[0])
+	if name == "" {
+		return "", 0, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil || v < 0 {
+			return "", 0, false
+		}
+		return name, v, true
+	}
+	return "", 0, false
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix go test appends to
+// benchmark names, so baselines recorded at different -cpu settings
+// still key identically.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Verdict classifies one benchmark's comparison outcome.
+type Verdict string
+
+const (
+	// OK: within the threshold (including improvements).
+	OK Verdict = "ok"
+	// Regression: current slower than baseline by more than the
+	// threshold percent. The only verdict that fails the gate.
+	Regression Verdict = "REGRESSION"
+	// OnlyBaseline: benchmark was removed; informational.
+	OnlyBaseline Verdict = "only-baseline"
+	// OnlyCurrent: benchmark is new; informational.
+	OnlyCurrent Verdict = "only-current"
+)
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name         string
+	Baseline     float64
+	Current      float64
+	DeltaPercent float64
+	Verdict      Verdict
+}
+
+// Compare evaluates every benchmark appearing in either run against the
+// regression threshold (in percent). Benchmarks present on only one
+// side are reported with an informational verdict and never fail the
+// gate.
+func Compare(base, cur *Baseline, thresholdPercent float64) []Delta {
+	var deltas []Delta
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: name, Baseline: b, Verdict: OnlyBaseline})
+			continue
+		}
+		d := Delta{Name: name, Baseline: b, Current: c, Verdict: OK}
+		if b > 0 {
+			d.DeltaPercent = (c - b) / b * 100
+		} else if c > 0 {
+			d.DeltaPercent = 100
+		}
+		if d.DeltaPercent > thresholdPercent {
+			d.Verdict = Regression
+		}
+		deltas = append(deltas, d)
+	}
+	for name, c := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			deltas = append(deltas, Delta{Name: name, Current: c, Verdict: OnlyCurrent})
+		}
+	}
+	return deltas
+}

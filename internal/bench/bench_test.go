@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPerfIndexedStudy100k 	      10	 135988887 ns/op	    100048 records
+BenchmarkPerfSummarize100k-8  	     120	   9876543 ns/op
+BenchmarkPerfReadCSV100k-8    	      22	  51234567 ns/op	 210.42 MB/s
+BenchmarkPerfSummarize100k-8  	     130	   9500000 ns/op
+PASS
+ok  	repro	12.090s
+`
+
+func TestParseText(t *testing.T) {
+	base, err := ParseText([]byte(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkPerfIndexedStudy100k": 135988887,
+		"BenchmarkPerfSummarize100k":    9500000, // min of the two -count runs
+		"BenchmarkPerfReadCSV100k":      51234567,
+	}
+	if len(base.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(base.Benchmarks), len(want), base.Benchmarks)
+	}
+	for name, ns := range want {
+		if got := base.Benchmarks[name]; got != ns {
+			t.Errorf("%s = %v, want %v", name, got, ns)
+		}
+	}
+}
+
+func TestParseTextIgnoresNonBenchmarkLines(t *testing.T) {
+	junk := "BenchmarkBroken\nBenchmark 12 bad\nBenchmarkX-4 notanint 5 ns/op\nBenchmarkY-4 3 5 MB/s\n"
+	base, err := ParseText([]byte(junk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Benchmarks) != 0 {
+		t.Errorf("junk lines parsed as benchmarks: %v", base.Benchmarks)
+	}
+}
+
+func TestParseAnyRoundTrip(t *testing.T) {
+	text, err := ParseAny([]byte(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBase, err := ParseAny([]byte(`{"note":"x","benchmarks":{"BenchmarkA":42}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonBase.Benchmarks["BenchmarkA"] != 42 || jsonBase.Note != "x" {
+		t.Errorf("JSON baseline mis-parsed: %+v", jsonBase)
+	}
+	if text.Benchmarks["BenchmarkPerfReadCSV100k"] != 51234567 {
+		t.Errorf("text baseline mis-parsed: %+v", text)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+		"BenchmarkFoo-bar-16": "BenchmarkFoo-bar",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]float64{
+		"Steady":   100,
+		"Faster":   100,
+		"Slower":   100,
+		"AtLimit":  100,
+		"Removed":  100,
+		"ZeroBase": 0,
+	}}
+	cur := &Baseline{Benchmarks: map[string]float64{
+		"Steady":   104,
+		"Faster":   50,
+		"Slower":   130,
+		"AtLimit":  115, // exactly the threshold: not a regression
+		"ZeroBase": 5,
+		"Added":    10,
+	}}
+	verdicts := make(map[string]Verdict)
+	for _, d := range Compare(base, cur, 15) {
+		verdicts[d.Name] = d.Verdict
+	}
+	want := map[string]Verdict{
+		"Steady":   OK,
+		"Faster":   OK,
+		"Slower":   Regression,
+		"AtLimit":  OK,
+		"Removed":  OnlyBaseline,
+		"ZeroBase": Regression, // 0 -> positive counts as a full regression
+		"Added":    OnlyCurrent,
+	}
+	for name, v := range want {
+		if verdicts[name] != v {
+			t.Errorf("%s verdict = %s, want %s", name, verdicts[name], v)
+		}
+	}
+	if len(verdicts) != len(want) {
+		t.Errorf("got %d deltas, want %d: %v", len(verdicts), len(want), verdicts)
+	}
+}
+
+func TestCompareDeltaPercent(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]float64{"B": 200}}
+	cur := &Baseline{Benchmarks: map[string]float64{"B": 230}}
+	deltas := Compare(base, cur, 15)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	if d := deltas[0]; d.DeltaPercent != 15 || d.Verdict != OK {
+		t.Errorf("delta = %+v, want +15%% ok", d)
+	}
+}
+
+func TestParseTextHugeLine(t *testing.T) {
+	// A pathological line must not break the scanner for later lines.
+	long := "# " + strings.Repeat("x", 500_000) + "\nBenchmarkReal-4 10 123 ns/op\n"
+	base, err := ParseText([]byte(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Benchmarks["BenchmarkReal"] != 123 {
+		t.Errorf("benchmark after long line lost: %v", base.Benchmarks)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 )
 
 // CategoryShare is one bar of Figure 2: a failure category's share of the
@@ -18,12 +19,16 @@ type CategoryShare struct {
 // Figure 2), sorted by descending count with ties broken by category name
 // for determinism.
 func CategoryBreakdown(log *failures.Log) ([]CategoryShare, error) {
-	if log.Len() == 0 {
+	return categoryBreakdown(index.New(log))
+}
+
+func categoryBreakdown(ix *index.View) ([]CategoryShare, error) {
+	if ix.Len() == 0 {
 		return nil, ErrEmptyLog
 	}
-	counts := log.ByCategory()
+	counts := ix.CategoryCounts()
 	out := make([]CategoryShare, 0, len(counts))
-	total := float64(log.Len())
+	total := float64(ix.Len())
 	for cat, n := range counts {
 		out = append(out, CategoryShare{Category: cat, Count: n, Percent: 100 * float64(n) / total})
 	}
@@ -61,9 +66,13 @@ type CauseShare struct {
 // failures carrying a cause, matching the paper's "171 reported root
 // loci" denominator.
 func SoftwareCauses(log *failures.Log, k int) ([]CauseShare, error) {
+	return softwareCauses(index.New(log), k)
+}
+
+func softwareCauses(ix *index.View, k int) ([]CauseShare, error) {
 	counts := make(map[failures.SoftwareCause]int)
 	total := 0
-	for _, r := range log.Records() {
+	for _, r := range ix.Records() {
 		if r.SoftwareCause == "" {
 			continue
 		}

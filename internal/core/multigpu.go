@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/failures"
+	"repro/internal/index"
 )
 
 // InvolvementRow is one row of Table III: the number of failures that
@@ -17,10 +18,14 @@ type InvolvementRow struct {
 // including zero rows (Tsubame-3 famously has a zero row for all four
 // GPUs).
 func MultiGPUInvolvement(log *failures.Log) ([]InvolvementRow, error) {
-	slots := failures.GPUsPerNode(log.System())
+	return multiGPUInvolvement(index.New(log))
+}
+
+func multiGPUInvolvement(ix *index.View) ([]InvolvementRow, error) {
+	slots := failures.GPUsPerNode(ix.System())
 	counts := make([]int, slots+1)
 	total := 0
-	for _, r := range log.Records() {
+	for _, r := range ix.Records() {
 		if r.Category != failures.CatGPU || len(r.GPUs) == 0 {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 )
 
 // NodeCountBin is one bar of Figure 4: how many nodes accumulated exactly
@@ -17,7 +18,11 @@ type NodeCountBin struct {
 // NodeFailureCounts computes the failures-per-node distribution over the
 // nodes that appear in the log (RQ2, Figure 4), sorted by failure count.
 func NodeFailureCounts(log *failures.Log) ([]NodeCountBin, error) {
-	perNode := log.ByNode()
+	return nodeFailureCounts(index.New(log))
+}
+
+func nodeFailureCounts(ix *index.View) ([]NodeCountBin, error) {
+	perNode := ix.NodeCounts()
 	if len(perNode) == 0 {
 		return nil, ErrEmptyLog
 	}
@@ -69,12 +74,16 @@ type MultiNodeSplit struct {
 // MultiFailureNodeSplit computes the hardware/software split of failures
 // on multi-failure nodes (RQ2).
 func MultiFailureNodeSplit(log *failures.Log) (MultiNodeSplit, error) {
-	perNode := log.ByNode()
+	return multiFailureNodeSplit(index.New(log))
+}
+
+func multiFailureNodeSplit(ix *index.View) (MultiNodeSplit, error) {
+	perNode := ix.NodeCounts()
 	if len(perNode) == 0 {
 		return MultiNodeSplit{}, ErrEmptyLog
 	}
 	var out MultiNodeSplit
-	for _, r := range log.Records() {
+	for _, r := range ix.Records() {
 		if r.Node == "" || perNode[r.Node] < 2 {
 			continue
 		}
@@ -100,10 +109,14 @@ type SlotShare struct {
 // node (RQ2, Figure 5). Every GPU-related record contributes one incident
 // per involved slot.
 func GPUSlotDistribution(log *failures.Log) ([]SlotShare, error) {
-	slots := failures.GPUsPerNode(log.System())
+	return gpuSlotDistribution(index.New(log))
+}
+
+func gpuSlotDistribution(ix *index.View) ([]SlotShare, error) {
+	slots := failures.GPUsPerNode(ix.System())
 	counts := make([]int, slots)
 	total := 0
-	for _, r := range log.Records() {
+	for _, r := range ix.Records() {
 		for _, g := range r.GPUs {
 			if g >= 0 && g < slots {
 				counts[g]++

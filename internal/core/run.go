@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/system"
@@ -29,75 +30,84 @@ type analysis struct {
 
 // Run executes the full analysis battery on one log, fanning the
 // independent per-figure analyses out across a bounded worker pool. Every
-// analysis reads the immutable log and writes only its own Study field,
-// so the fan-out is race-free by construction; the pool dispatches tasks
-// in the sequential battery's order and returns the lowest-index error,
-// so failure behavior matches NewStudy as well.
+// analysis reads one shared index.View — built once, memoized per facet —
+// and writes only its own Study field, so the fan-out is race-free by
+// construction; the pool dispatches tasks in the sequential battery's
+// order and returns the lowest-index error, so failure behavior matches
+// NewStudy as well.
 func Run(log *failures.Log, opts Options) (*Study, error) {
+	return runView(index.New(log), opts)
+}
+
+// runView is Run over an already-built index, the shared substrate of
+// every phase (docs/PERFORMANCE.md). Facets a phase needs are built on
+// first demand and reused by every later phase, whichever worker gets
+// there first.
+func runView(ix *index.View, opts Options) (*Study, error) {
 	defer obs.StartSpan("core/run").End()
-	if log.Len() < 2 {
+	if ix.Len() < 2 {
 		return nil, ErrTooFewRecords
 	}
-	s := &Study{System: log.System(), Records: log.Len(), SpanDays: log.Span().Hours() / 24}
+	s := &Study{System: ix.System(), Records: ix.Len(), SpanDays: ix.Span().Hours() / 24}
 	width := opts.Parallelism
 	obs.SetGauge("core/pool_width", float64(parallel.Width(width, 0)))
-	obs.Add("core/records", int64(log.Len()))
+	obs.Add("core/records", int64(ix.Len()))
 
 	// Phases are listed in NewStudy's historical order; best-effort
 	// analyses swallow their errors exactly as the sequential path does.
 	phases := []analysis{
 		{"breakdown", func(context.Context) error {
 			var err error
-			if s.Breakdown, err = CategoryBreakdown(log); err != nil {
+			if s.Breakdown, err = categoryBreakdown(ix); err != nil {
 				return fmt.Errorf("core: category breakdown: %w", err)
 			}
 			return nil
 		}},
 		{"software-causes", func(context.Context) error {
 			// Root loci are only recorded on systems that report them.
-			if top, err := SoftwareCauses(log, 16); err == nil {
+			if top, err := softwareCauses(ix, 16); err == nil {
 				s.SoftwareTop = top
 			}
 			return nil
 		}},
 		{"node-counts", func(context.Context) error {
 			var err error
-			if s.NodeCounts, err = NodeFailureCounts(log); err != nil {
+			if s.NodeCounts, err = nodeFailureCounts(ix); err != nil {
 				return fmt.Errorf("core: node failure counts: %w", err)
 			}
 			return nil
 		}},
 		{"multi-node-split", func(context.Context) error {
 			var err error
-			if s.MultiNodeSplit, err = MultiFailureNodeSplit(log); err != nil {
+			if s.MultiNodeSplit, err = multiFailureNodeSplit(ix); err != nil {
 				return fmt.Errorf("core: multi-failure node split: %w", err)
 			}
 			return nil
 		}},
 		{"slot-shares", func(context.Context) error {
 			var err error
-			if s.SlotShares, err = GPUSlotDistribution(log); err != nil {
+			if s.SlotShares, err = gpuSlotDistribution(ix); err != nil {
 				return fmt.Errorf("core: GPU slot distribution: %w", err)
 			}
 			return nil
 		}},
 		{"involvement", func(context.Context) error {
 			var err error
-			if s.Involvement, err = MultiGPUInvolvement(log); err != nil {
+			if s.Involvement, err = multiGPUInvolvement(ix); err != nil {
 				return fmt.Errorf("core: multi-GPU involvement: %w", err)
 			}
 			return nil
 		}},
 		{"tbf", func(context.Context) error {
 			var err error
-			if s.TBF, err = TBFAnalysis(log); err != nil {
+			if s.TBF, err = tbfAnalysis(ix); err != nil {
 				return fmt.Errorf("core: TBF analysis: %w", err)
 			}
 			return nil
 		}},
 		{"tbf-per-type", func(context.Context) error {
 			var err error
-			if s.TBFPerType, err = tbfByCategory(log, minPerTypeTBF, width); err != nil {
+			if s.TBFPerType, err = tbfByCategory(ix, minPerTypeTBF, width); err != nil {
 				return fmt.Errorf("core: per-type TBF: %w", err)
 			}
 			return nil
@@ -105,35 +115,35 @@ func Run(log *failures.Log, opts Options) (*Study, error) {
 		{"multi-gpu-temporal", func(context.Context) error {
 			// A log can legitimately lack multi-GPU pairs; leave the
 			// field nil then.
-			if mg, err := MultiGPUTemporal(log, multiGPUWindowHours); err == nil {
+			if mg, err := multiGPUTemporal(ix, multiGPUWindowHours); err == nil {
 				s.MultiGPU = mg
 			}
 			return nil
 		}},
 		{"ttr", func(context.Context) error {
 			var err error
-			if s.TTR, err = TTRAnalysis(log); err != nil {
+			if s.TTR, err = ttrAnalysis(ix); err != nil {
 				return fmt.Errorf("core: TTR analysis: %w", err)
 			}
 			return nil
 		}},
 		{"ttr-per-type", func(context.Context) error {
 			var err error
-			if s.TTRPerType, err = ttrByCategory(log, minPerTypeTTR, width); err != nil {
+			if s.TTRPerType, err = ttrByCategory(ix, minPerTypeTTR, width); err != nil {
 				return fmt.Errorf("core: per-type TTR: %w", err)
 			}
 			return nil
 		}},
 		{"seasonal", func(context.Context) error {
 			var err error
-			if s.Seasonal, err = MonthlySeasonality(log); err != nil {
+			if s.Seasonal, err = monthlySeasonality(ix); err != nil {
 				return fmt.Errorf("core: monthly seasonality: %w", err)
 			}
 			return nil
 		}},
 		{"seasonal-tests", func(context.Context) error {
 			var err error
-			if s.SeasonalTests, err = SeasonalAnalysis(log); err != nil {
+			if s.SeasonalTests, err = seasonalAnalysis(ix); err != nil {
 				return fmt.Errorf("core: seasonal analysis: %w", err)
 			}
 			return nil
@@ -142,13 +152,13 @@ func Run(log *failures.Log, opts Options) (*Study, error) {
 		// node identifiers outside the canonical topology or lack GPU
 		// attribution.
 		{"spatial", func(context.Context) error {
-			if spatial, err := spatialAnalysis(log, width); err == nil {
+			if spatial, err := spatialAnalysis(ix, width); err == nil {
 				s.Spatial = spatial
 			}
 			return nil
 		}},
 		{"survival", func(context.Context) error {
-			if survival, err := GPUSurvival(log); err == nil {
+			if survival, err := gpuSurvival(ix); err == nil {
 				s.Survival = survival
 			}
 			return nil
@@ -170,7 +180,7 @@ func Run(log *failures.Log, opts Options) (*Study, error) {
 	// after the fan-out completes.
 	pep := obs.StartSpan("core/pep")
 	defer pep.End()
-	machine, err := system.ForSystem(log.System())
+	machine, err := system.ForSystem(ix.System())
 	if err != nil {
 		return nil, err
 	}
@@ -182,20 +192,23 @@ func Run(log *failures.Log, opts Options) (*Study, error) {
 
 // CompareParallel builds the cross-generation comparison, analyzing the
 // two logs concurrently and fanning each study's analyses out under the
-// same options. CompareParallel with Parallelism 1 is Compare.
+// same options. Each log gets one index shared between its study phases
+// and the comparison metrics. CompareParallel with Parallelism 1 is
+// Compare.
 func CompareParallel(oldLog, newLog *failures.Log, opts Options) (*Comparison, error) {
+	oldIx, newIx := index.New(oldLog), index.New(newLog)
 	var oldStudy, newStudy *Study
 	err := parallel.Do(context.Background(), opts.Parallelism,
 		func(context.Context) error {
 			var err error
-			if oldStudy, err = Run(oldLog, opts); err != nil {
+			if oldStudy, err = runView(oldIx, opts); err != nil {
 				return fmt.Errorf("core: old-generation study: %w", err)
 			}
 			return nil
 		},
 		func(context.Context) error {
 			var err error
-			if newStudy, err = Run(newLog, opts); err != nil {
+			if newStudy, err = runView(newIx, opts); err != nil {
 				return fmt.Errorf("core: new-generation study: %w", err)
 			}
 			return nil
@@ -204,5 +217,5 @@ func CompareParallel(oldLog, newLog *failures.Log, opts Options) (*Comparison, e
 	if err != nil {
 		return nil, err
 	}
-	return compareStudies(oldLog, newLog, oldStudy, newStudy)
+	return compareStudies(oldIx, newIx, oldStudy, newStudy)
 }

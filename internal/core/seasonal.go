@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/stats"
 )
 
@@ -23,20 +24,21 @@ type MonthBucket struct {
 // recovery-time distributions (RQ5, Figures 11 and 12). All twelve months
 // are returned in calendar order, including empty ones.
 func MonthlySeasonality(log *failures.Log) ([]MonthBucket, error) {
-	if log.Len() == 0 {
+	return monthlySeasonality(index.New(log))
+}
+
+func monthlySeasonality(ix *index.View) ([]MonthBucket, error) {
+	if ix.Len() == 0 {
 		return nil, ErrEmptyLog
 	}
-	hours := make(map[time.Month][]float64)
-	for _, r := range log.Records() {
-		m := r.Time.Month()
-		hours[m] = append(hours[m], r.Recovery.Hours())
-	}
+	counts := ix.MonthlyCounts()
+	sorted := ix.SortedMonthlyRecoveryHours()
 	out := make([]MonthBucket, 12)
 	for i := 0; i < 12; i++ {
 		m := time.Month(i + 1)
-		out[i] = MonthBucket{Month: m, Failures: len(hours[m])}
-		if len(hours[m]) > 0 {
-			sum, err := stats.Summarize(hours[m])
+		out[i] = MonthBucket{Month: m, Failures: counts[m]}
+		if counts[m] > 0 {
+			sum, err := stats.SummarizeSorted(sorted[m])
 			if err != nil {
 				return nil, err
 			}
@@ -64,7 +66,11 @@ type SeasonalCorrelation struct {
 // SeasonalAnalysis runs the density-versus-recovery tests over the monthly
 // buckets.
 func SeasonalAnalysis(log *failures.Log) (SeasonalCorrelation, error) {
-	buckets, err := MonthlySeasonality(log)
+	return seasonalAnalysis(index.New(log))
+}
+
+func seasonalAnalysis(ix *index.View) (SeasonalCorrelation, error) {
+	buckets, err := monthlySeasonality(ix)
 	if err != nil {
 		return SeasonalCorrelation{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/system"
@@ -45,14 +46,14 @@ type SpatialResult struct {
 // SpatialAnalysis computes the rack- and node-level failure concentration
 // of a log against its machine's topology.
 func SpatialAnalysis(log *failures.Log) (*SpatialResult, error) {
-	return spatialAnalysis(log, 1)
+	return spatialAnalysis(index.New(log), 1)
 }
 
 // SpatialAnalysisParallel is SpatialAnalysis with the per-node
 // aggregation sharded across a bounded worker pool; results are
 // identical under any width.
 func SpatialAnalysisParallel(log *failures.Log, parallelism int) (*SpatialResult, error) {
-	return spatialAnalysis(log, parallelism)
+	return spatialAnalysis(index.New(log), parallelism)
 }
 
 // spatialShard is one shard's partial reduction over a contiguous range
@@ -64,20 +65,18 @@ type spatialShard struct {
 	total      int
 }
 
-func spatialAnalysis(log *failures.Log, parallelism int) (*SpatialResult, error) {
-	machine, err := system.ForSystem(log.System())
+func spatialAnalysis(ix *index.View, parallelism int) (*SpatialResult, error) {
+	machine, err := system.ForSystem(ix.System())
 	if err != nil {
 		return nil, err
 	}
-	perNode := log.ByNode()
+	perNode := ix.NodeCounts()
 	if len(perNode) == 0 {
 		return nil, ErrEmptyLog
 	}
-	nodes := make([]string, 0, len(perNode))
-	for node := range perNode {
-		nodes = append(nodes, node)
-	}
-	sort.Strings(nodes)
+	// The index's node list is already sorted, so the shard bounds below
+	// are deterministic without re-deriving the order.
+	nodes := ix.Nodes()
 
 	// Shard the per-node aggregation: each worker owns a contiguous node
 	// range, validates it against the topology, accumulates private rack
@@ -91,13 +90,13 @@ func spatialAnalysis(log *failures.Log, parallelism int) (*SpatialResult, error)
 				count := perNode[node]
 				rack, ok := machine.RackOf(node)
 				if !ok {
-					return spatialShard{}, fmt.Errorf("core: node %q outside the %v topology", node, log.System())
+					return spatialShard{}, fmt.Errorf("core: node %q outside the %v topology", node, ix.System())
 				}
 				pt.rackCounts[rack] += count
 				pt.total += count
 				idx, ok := system.ParseNodeIndex(node)
 				if !ok || idx >= machine.Nodes {
-					return spatialShard{}, fmt.Errorf("core: node %q outside the %v fleet", node, log.System())
+					return spatialShard{}, fmt.Errorf("core: node %q outside the %v fleet", node, ix.System())
 				}
 				fleetVals[idx] = float64(count)
 			}

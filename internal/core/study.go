@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/stats"
 	"repro/internal/system"
 )
@@ -84,20 +85,23 @@ type Comparison struct {
 
 // Compare builds the cross-generation comparison from two logs.
 func Compare(oldLog, newLog *failures.Log) (*Comparison, error) {
-	oldStudy, err := NewStudy(oldLog)
+	oldIx, newIx := index.New(oldLog), index.New(newLog)
+	oldStudy, err := runView(oldIx, Options{Parallelism: 1})
 	if err != nil {
 		return nil, fmt.Errorf("core: old-generation study: %w", err)
 	}
-	newStudy, err := NewStudy(newLog)
+	newStudy, err := runView(newIx, Options{Parallelism: 1})
 	if err != nil {
 		return nil, fmt.Errorf("core: new-generation study: %w", err)
 	}
-	return compareStudies(oldLog, newLog, oldStudy, newStudy)
+	return compareStudies(oldIx, newIx, oldStudy, newStudy)
 }
 
-// compareStudies assembles the Comparison from two already-built studies;
-// shared by the sequential and parallel entry points.
-func compareStudies(oldLog, newLog *failures.Log, oldStudy, newStudy *Study) (*Comparison, error) {
+// compareStudies assembles the Comparison from two already-built studies,
+// reusing each study's index so the comparison metrics read the facets
+// the battery already derived; shared by the sequential and parallel
+// entry points.
+func compareStudies(oldIx, newIx *index.View, oldStudy, newStudy *Study) (*Comparison, error) {
 	c := &Comparison{
 		Old:             oldStudy,
 		New:             newStudy,
@@ -105,17 +109,17 @@ func compareStudies(oldLog, newLog *failures.Log, oldStudy, newStudy *Study) (*C
 		MTTRRatio:       newStudy.TTR.MTTRHours / oldStudy.TTR.MTTRHours,
 		PEPRatio:        oldStudy.PEP.Ratio(newStudy.PEP),
 	}
-	if oldGPU, ok := GPUCardIncidentMTBF(oldLog); ok {
-		if newGPU, ok := GPUCardIncidentMTBF(newLog); ok {
+	if oldGPU, ok := gpuCardIncidentMTBF(oldIx); ok {
+		if newGPU, ok := gpuCardIncidentMTBF(newIx); ok {
 			c.GPUMTBFImprovement = newGPU / oldGPU
 		}
 	}
-	if oldCPU, ok := CategoryMTBF(oldLog, failures.CatCPU); ok {
-		if newCPU, ok := CategoryMTBF(newLog, failures.CatCPU); ok {
+	if oldCPU, ok := categoryMTBF(oldIx, failures.CatCPU); ok {
+		if newCPU, ok := categoryMTBF(newIx, failures.CatCPU); ok {
 			c.CPUMTBFImprovement = newCPU / oldCPU
 		}
 	}
-	ks, err := stats.KSTwoSample(oldLog.RecoveryHours(), newLog.RecoveryHours())
+	ks, err := stats.KSTwoSample(oldIx.RecoveryHours(), newIx.RecoveryHours())
 	if err != nil {
 		return nil, fmt.Errorf("core: TTR shape comparison: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/stats"
 	"repro/internal/system"
 )
@@ -37,16 +38,20 @@ type GPUSurvivalResult struct {
 
 // GPUSurvival computes the per-card survival analysis of a log.
 func GPUSurvival(log *failures.Log) (*GPUSurvivalResult, error) {
-	machine, err := system.ForSystem(log.System())
+	return gpuSurvival(index.New(log))
+}
+
+func gpuSurvival(ix *index.View) (*GPUSurvivalResult, error) {
+	machine, err := system.ForSystem(ix.System())
 	if err != nil {
 		return nil, err
 	}
-	start, end, ok := log.Window()
+	start, end, ok := ix.Window()
 	if !ok {
 		return nil, ErrEmptyLog
 	}
 	horizon := end.Sub(start).Hours()
-	slots := failures.GPUsPerNode(log.System())
+	slots := failures.GPUsPerNode(ix.System())
 
 	// First failure time per card, keyed by node index and slot.
 	type cardKey struct {
@@ -54,13 +59,13 @@ func GPUSurvival(log *failures.Log) (*GPUSurvivalResult, error) {
 		slot int
 	}
 	firstFailure := make(map[cardKey]float64)
-	for _, r := range log.Records() {
+	for _, r := range ix.Records() {
 		if len(r.GPUs) == 0 || r.Node == "" {
 			continue
 		}
 		idx, ok := system.ParseNodeIndex(r.Node)
 		if !ok || idx >= machine.Nodes {
-			return nil, fmt.Errorf("core: node %q outside the %v fleet", r.Node, log.System())
+			return nil, fmt.Errorf("core: node %q outside the %v fleet", r.Node, ix.System())
 		}
 		t := r.Time.Sub(start).Hours()
 		for _, slot := range r.GPUs {

@@ -5,9 +5,14 @@ import (
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
+
+// quartiles are the probabilities of the boxplot-style P25/Median/P75
+// readouts; both TBF and TTR read all three off one sorted arena.
+var quartiles = []float64{0.25, 0.50, 0.75}
 
 // TBFResult summarizes the system-wide time-between-failures distribution
 // (RQ4, Figure 6).
@@ -26,20 +31,30 @@ type TBFResult struct {
 // TBFAnalysis computes the time-between-failures distribution of the whole
 // log.
 func TBFAnalysis(log *failures.Log) (*TBFResult, error) {
-	gaps := log.InterarrivalHours()
+	return tbfAnalysis(index.New(log))
+}
+
+// tbfAnalysis reads the gap series and its sorted arena off the index:
+// the mean accumulates in chronological order (bit-identical to the
+// historical path), while the ECDF and all three quantiles share the
+// arena's single sort.
+func tbfAnalysis(ix *index.View) (*TBFResult, error) {
+	gaps := ix.InterarrivalHours()
 	if len(gaps) == 0 {
 		return nil, ErrTooFewRecords
 	}
-	cdf, err := stats.NewECDF(gaps)
+	sorted := ix.SortedInterarrivalHours()
+	cdf, err := stats.NewECDFSorted(sorted)
 	if err != nil {
 		return nil, err
 	}
+	qs := stats.QuantilesSorted(sorted, quartiles)
 	return &TBFResult{
 		N:         len(gaps),
 		MTBFHours: stats.Mean(gaps),
-		P25:       cdf.Quantile(0.25),
-		Median:    cdf.Quantile(0.50),
-		P75:       cdf.Quantile(0.75),
+		P25:       qs[0],
+		Median:    qs[1],
+		P75:       qs[2],
 		CDF:       cdf,
 	}, nil
 }
@@ -56,31 +71,30 @@ type CategoryDurations struct {
 // (the paper's Figure 7 omits sparsely populated categories). Rows are
 // sorted by ascending mean, matching the figure's ordering.
 func TBFByCategory(log *failures.Log, minCount int) ([]CategoryDurations, error) {
-	return tbfByCategory(log, minCount, 1)
+	return tbfByCategory(index.New(log), minCount, 1)
 }
 
-// TBFByCategoryParallel is TBFByCategory with the per-category sub-log
-// scans and summaries fanned out across a bounded worker pool; results
-// are identical under any width.
+// TBFByCategoryParallel is TBFByCategory with the per-category summaries
+// fanned out across a bounded worker pool; results are identical under
+// any width.
 func TBFByCategoryParallel(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
-	return tbfByCategory(log, minCount, parallelism)
+	return tbfByCategory(index.New(log), minCount, parallelism)
 }
 
-func tbfByCategory(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
-	if log.Len() == 0 {
+func tbfByCategory(ix *index.View, minCount, parallelism int) ([]CategoryDurations, error) {
+	if ix.Len() == 0 {
 		return nil, ErrEmptyLog
 	}
 	if minCount < 2 {
 		minCount = 2
 	}
-	cats := categoriesWithAtLeast(log.ByCategory(), minCount)
+	cats := categoriesWithAtLeast(ix.CategoryCounts(), minCount)
 	rows, err := parallel.Map(context.Background(), parallelism, cats, func(_ context.Context, _ int, cat failures.Category) (*CategoryDurations, error) {
-		sub := log.Filter(func(f failures.Failure) bool { return f.Category == cat })
-		gaps := sub.InterarrivalHours()
+		gaps := ix.SortedCategoryGaps(cat)
 		if len(gaps) == 0 {
 			return nil, nil
 		}
-		sum, err := stats.Summarize(gaps)
+		sum, err := stats.SummarizeSorted(gaps)
 		if err != nil {
 			return nil, nil // degenerate category: skipped, as sequentially
 		}
@@ -133,8 +147,22 @@ func collectDurations(rows []*CategoryDurations) []CategoryDurations {
 // CategoryMTBF returns the mean time between failures of one category in
 // hours, measured over the category's sub-log.
 func CategoryMTBF(log *failures.Log, cat failures.Category) (float64, bool) {
-	sub := log.Filter(func(f failures.Failure) bool { return f.Category == cat })
-	return sub.MTBFHours()
+	return categoryMTBF(index.New(log), cat)
+}
+
+// categoryMTBF averages the category's gap series with a plain running
+// sum, replicating failures.Log.MTBFHours bit for bit (deliberately not
+// stats.Mean, whose Kahan compensation can differ in the last ulp).
+func categoryMTBF(ix *index.View, cat failures.Category) (float64, bool) {
+	gaps := ix.CategoryGaps(cat)
+	if len(gaps) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	return sum / float64(len(gaps)), true
 }
 
 // GPUCardIncidentMTBF returns the mean time between GPU card incidents:
@@ -142,21 +170,22 @@ func CategoryMTBF(log *failures.Log, cat failures.Category) (float64, bool) {
 // basis that best reconciles the paper's per-type GPU MTBF numbers with
 // its Table III involvement counts.
 func GPUCardIncidentMTBF(log *failures.Log) (float64, bool) {
+	return gpuCardIncidentMTBF(index.New(log))
+}
+
+func gpuCardIncidentMTBF(ix *index.View) (float64, bool) {
+	records := ix.GPURecords()
 	var incidents int
-	sub := log.GPUFailures()
-	for _, r := range sub.Records() {
+	for _, r := range records {
 		n := len(r.GPUs)
 		if n == 0 {
 			n = 1
 		}
 		incidents += n
 	}
-	if incidents < 2 {
+	if incidents < 2 || len(records) == 0 {
 		return 0, false
 	}
-	start, end, ok := sub.Window()
-	if !ok {
-		return 0, false
-	}
-	return end.Sub(start).Hours() / float64(incidents-1), true
+	window := records[len(records)-1].Time.Sub(records[0].Time)
+	return window.Hours() / float64(incidents-1), true
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/stats"
 )
 
@@ -35,8 +36,12 @@ type MultiGPUTemporalResult struct {
 // MultiGPUTemporal analyzes the clustering of multi-GPU failures using the
 // given proximity window (hours).
 func MultiGPUTemporal(log *failures.Log, windowHours float64) (*MultiGPUTemporalResult, error) {
+	return multiGPUTemporal(index.New(log), windowHours)
+}
+
+func multiGPUTemporal(ix *index.View, windowHours float64) (*MultiGPUTemporalResult, error) {
 	var times []time.Time
-	for _, r := range log.Records() {
+	for _, r := range ix.Records() {
 		if r.MultiGPU() {
 			times = append(times, r.Time)
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/failures"
+	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -21,20 +22,28 @@ type TTRResult struct {
 
 // TTRAnalysis computes the time-to-recovery distribution of the whole log.
 func TTRAnalysis(log *failures.Log) (*TTRResult, error) {
-	hours := log.RecoveryHours()
+	return ttrAnalysis(index.New(log))
+}
+
+// ttrAnalysis mirrors tbfAnalysis: chronological series for the mean,
+// shared sorted arena for the ECDF, quantiles, and maximum.
+func ttrAnalysis(ix *index.View) (*TTRResult, error) {
+	hours := ix.RecoveryHours()
 	if len(hours) == 0 {
 		return nil, ErrEmptyLog
 	}
-	cdf, err := stats.NewECDF(hours)
+	sorted := ix.SortedRecoveryHours()
+	cdf, err := stats.NewECDFSorted(sorted)
 	if err != nil {
 		return nil, err
 	}
+	qs := stats.QuantilesSorted(sorted, quartiles)
 	return &TTRResult{
 		N:         len(hours),
 		MTTRHours: stats.Mean(hours),
-		P25:       cdf.Quantile(0.25),
-		Median:    cdf.Quantile(0.50),
-		P75:       cdf.Quantile(0.75),
+		P25:       qs[0],
+		Median:    qs[1],
+		P75:       qs[2],
 		MaxHours:  cdf.Max(),
 		CDF:       cdf,
 	}, nil
@@ -44,36 +53,26 @@ func TTRAnalysis(log *failures.Log) (*TTRResult, error) {
 // categories with at least minCount records, sorted by ascending mean
 // recovery time (Figure 10's ordering).
 func TTRByCategory(log *failures.Log, minCount int) ([]CategoryDurations, error) {
-	return ttrByCategory(log, minCount, 1)
+	return ttrByCategory(index.New(log), minCount, 1)
 }
 
 // TTRByCategoryParallel is TTRByCategory with the per-category summaries
 // fanned out across a bounded worker pool; results are identical under
 // any width.
 func TTRByCategoryParallel(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
-	return ttrByCategory(log, minCount, parallelism)
+	return ttrByCategory(index.New(log), minCount, parallelism)
 }
 
-func ttrByCategory(log *failures.Log, minCount, parallelism int) ([]CategoryDurations, error) {
-	if log.Len() == 0 {
+func ttrByCategory(ix *index.View, minCount, parallelism int) ([]CategoryDurations, error) {
+	if ix.Len() == 0 {
 		return nil, ErrEmptyLog
 	}
 	if minCount < 1 {
 		minCount = 1
 	}
-	byCat := make(map[failures.Category][]float64)
-	for _, r := range log.Records() {
-		byCat[r.Category] = append(byCat[r.Category], r.Recovery.Hours())
-	}
-	cats := make([]failures.Category, 0, len(byCat))
-	for cat, hours := range byCat {
-		if len(hours) >= minCount {
-			cats = append(cats, cat)
-		}
-	}
-	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	cats := categoriesWithAtLeast(ix.CategoryCounts(), minCount)
 	rows, err := parallel.Map(context.Background(), parallelism, cats, func(_ context.Context, _ int, cat failures.Category) (*CategoryDurations, error) {
-		sum, err := stats.Summarize(byCat[cat])
+		sum, err := stats.SummarizeSorted(ix.SortedCategoryRecovery(cat))
 		if err != nil {
 			return nil, nil // degenerate category: skipped, as sequentially
 		}
@@ -101,16 +100,20 @@ type SpreadComparison struct {
 
 // TTRSpread computes the hardware-versus-software recovery spread.
 func TTRSpread(log *failures.Log) (SpreadComparison, error) {
-	hw := log.HardwareFailures().RecoveryHours()
-	sw := log.SoftwareFailures().RecoveryHours()
+	return ttrSpread(index.New(log))
+}
+
+func ttrSpread(ix *index.View) (SpreadComparison, error) {
+	hw := ix.SortedHardwareRecoveryHours()
+	sw := ix.SortedSoftwareRecoveryHours()
 	if len(hw) == 0 || len(sw) == 0 {
 		return SpreadComparison{}, ErrEmptyLog
 	}
-	hwSum, err := stats.Summarize(hw)
+	hwSum, err := stats.SummarizeSorted(hw)
 	if err != nil {
 		return SpreadComparison{}, err
 	}
-	swSum, err := stats.Summarize(sw)
+	swSum, err := stats.SummarizeSorted(sw)
 	if err != nil {
 		return SpreadComparison{}, err
 	}
@@ -140,25 +143,27 @@ type TTRSignificance struct {
 // TTRSignificanceByCategory runs a one-vs-rest Mann-Whitney test for each
 // category with at least minCount records, sorted by ascending p-value.
 func TTRSignificanceByCategory(log *failures.Log, minCount int) ([]TTRSignificance, error) {
-	if log.Len() == 0 {
+	return ttrSignificanceByCategory(index.New(log), minCount)
+}
+
+func ttrSignificanceByCategory(ix *index.View, minCount int) ([]TTRSignificance, error) {
+	if ix.Len() == 0 {
 		return nil, ErrEmptyLog
 	}
 	if minCount < 2 {
 		minCount = 2
 	}
-	byCat := make(map[failures.Category][]float64)
-	for _, r := range log.Records() {
-		byCat[r.Category] = append(byCat[r.Category], r.Recovery.Hours())
-	}
 	var out []TTRSignificance
-	for cat, hours := range byCat {
-		if len(hours) < minCount {
+	counts := ix.CategoryCounts()
+	for cat, n := range counts {
+		if n < minCount {
 			continue
 		}
+		hours := ix.CategoryRecovery(cat)
 		var rest []float64
-		for other, xs := range byCat {
+		for other := range counts {
 			if other != cat {
-				rest = append(rest, xs...)
+				rest = append(rest, ix.CategoryRecovery(other)...)
 			}
 		}
 		if len(rest) == 0 {

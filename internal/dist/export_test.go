@@ -1,0 +1,5 @@
+package dist
+
+// SortCount exposes the fitting path's sample-sort counter to the
+// single-sort regression tests.
+func SortCount() int64 { return fitSortCount.Load() }

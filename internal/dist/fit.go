@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // FitExponential returns the maximum-likelihood exponential fit (the sample
@@ -113,34 +114,125 @@ type Fit struct {
 	AIC float64
 }
 
+// fitSortCount counts every sample sort the fitting path performs. The
+// single-sort regression test reads it through export_test.go: FitAll on
+// any sample must increment it exactly once, FitAllSorted never.
+var fitSortCount atomic.Int64
+
 // FitAll fits the exponential, Weibull, and log-normal families to xs and
 // returns the fits sorted by ascending KS statistic (best first). Families
 // that fail to fit are omitted; an error is returned only when no family
 // fits.
+//
+// The sample is cloned and sorted exactly once, and every family's KS
+// statistic reads the shared sorted buffer — previously each family
+// re-cloned and re-sorted the sample. Callers that already hold a sorted
+// sample (the analysis index's arenas) should use FitAllSorted, which
+// performs no sort at all.
 func FitAll(xs []float64) ([]Fit, error) {
-	var fits []Fit
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	fitSortCount.Add(1)
+	return fitAll(xs, sorted)
+}
+
+// FitAllSorted is FitAll on an already-sorted, ascending sample: the MLE,
+// log-likelihood, and KS passes all run over the given slice and no sort
+// or clone happens. The per-family goodness-of-fit scoring is fused into
+// a single sweep over the sorted data. The slice is not retained.
+//
+// Note that floating-point accumulation follows the sorted order, so
+// parameters can differ from FitAll(unsorted) in the last ulp; within one
+// pipeline, fit inputs consistently through one entry point.
+func FitAllSorted(sorted []float64) ([]Fit, error) {
+	if !sort.Float64sAreSorted(sorted) {
+		return nil, fmt.Errorf("dist: FitAllSorted requires an ascending sample")
+	}
+	return fitAll(sorted, sorted)
+}
+
+// family pairs a fitted distribution with its parameter count and per-
+// observation log-likelihood, the inputs of the fused scoring sweep.
+type family struct {
+	name   string
+	dist   Distribution
+	params int
+	ll     func(x float64) float64
+}
+
+// fitAll fits every family to xs and scores against the sorted view of
+// the same sample. When xs and sorted are the same slice (the FitAllSorted
+// path) the log-likelihood and KS passes fuse into one sweep; otherwise
+// the log-likelihood accumulates in xs order, preserving FitAll's exact
+// historical results.
+func fitAll(xs, sorted []float64) ([]Fit, error) {
+	var families []family
 	if e, err := FitExponential(xs); err == nil {
-		fits = append(fits, Fit{Name: "exponential", Dist: e, AIC: 2*1 - 2*exponentialLogLik(e, xs)})
+		logMean := math.Log(e.MeanVal)
+		families = append(families, family{"exponential", e, 1, func(x float64) float64 {
+			return -logMean - x/e.MeanVal
+		}})
 	}
 	if w, err := FitWeibull(xs); err == nil {
-		fits = append(fits, Fit{Name: "weibull", Dist: w, AIC: 2*2 - 2*weibullLogLik(w, xs)})
+		logK, logL := math.Log(w.K), math.Log(w.Lambda)
+		families = append(families, family{"weibull", w, 2, func(x float64) float64 {
+			z := x / w.Lambda
+			return logK - logL + (w.K-1)*(math.Log(x)-logL) - math.Pow(z, w.K)
+		}})
 	}
 	if l, err := FitLogNormal(xs); err == nil {
-		fits = append(fits, Fit{Name: "lognormal", Dist: l, AIC: 2*2 - 2*logNormalLogLik(l, xs)})
+		c := -0.5*math.Log(2*math.Pi) - math.Log(l.Sigma)
+		families = append(families, family{"lognormal", l, 2, func(x float64) float64 {
+			z := (math.Log(x) - l.Mu) / l.Sigma
+			return c - math.Log(x) - z*z/2
+		}})
 	}
-	if len(fits) == 0 {
+	if len(families) == 0 {
 		return nil, fmt.Errorf("dist: no distribution family fits the sample (n=%d)", len(xs))
 	}
-	for i := range fits {
-		fits[i].KS = ksStatistic(xs, fits[i].Dist.CDF)
+	fused := len(xs) == len(sorted) && (len(xs) == 0 || &xs[0] == &sorted[0])
+	fits := make([]Fit, len(families))
+	for i, fam := range families {
+		var ll, ks float64
+		if fused {
+			ll, ks = sweepSorted(sorted, fam.ll, fam.dist.CDF)
+		} else {
+			for _, x := range xs {
+				ll += fam.ll(x)
+			}
+			ks = ksStatisticSorted(sorted, fam.dist.CDF)
+		}
+		fits[i] = Fit{Name: fam.name, Dist: fam.dist, KS: ks, AIC: 2*float64(fam.params) - 2*ll}
 	}
 	sort.Slice(fits, func(i, j int) bool { return fits[i].KS < fits[j].KS })
 	return fits, nil
 }
 
+// sweepSorted is the fused scoring pass of the pre-sorted path: one loop
+// over the sorted sample accumulates the log-likelihood and tracks the KS
+// supremum simultaneously.
+func sweepSorted(sorted []float64, ll func(float64) float64, cdf func(float64) float64) (loglik, ks float64) {
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		loglik += ll(x)
+		f := cdf(x)
+		ks = math.Max(ks, math.Max(math.Abs(f-float64(i)/n), math.Abs(float64(i+1)/n-f)))
+	}
+	return loglik, ks
+}
+
 // FitBest returns the family with the smallest KS statistic.
 func FitBest(xs []float64) (Fit, error) {
 	fits, err := FitAll(xs)
+	if err != nil {
+		return Fit{}, err
+	}
+	return fits[0], nil
+}
+
+// FitBestSorted is FitBest on an already-sorted sample.
+func FitBestSorted(sorted []float64) (Fit, error) {
+	fits, err := FitAllSorted(sorted)
 	if err != nil {
 		return Fit{}, err
 	}
@@ -165,10 +257,13 @@ func positiveMeanLogMean(xs []float64) (mean, meanLog float64, err error) {
 }
 
 // exponentialLogLik is the exponential log-likelihood of positive xs.
+// The fitting sweep in fitAll inlines this term-for-term; these three
+// standalone forms remain the reference implementations the tests check.
 func exponentialLogLik(e Exponential, xs []float64) float64 {
+	logMean := math.Log(e.MeanVal)
 	var ll float64
 	for _, x := range xs {
-		ll += -math.Log(e.MeanVal) - x/e.MeanVal
+		ll += -logMean - x/e.MeanVal
 	}
 	return ll
 }
@@ -195,12 +290,12 @@ func logNormalLogLik(l LogNormal, xs []float64) float64 {
 	return ll
 }
 
-// ksStatistic computes the one-sample KS statistic. It mirrors
-// stats.KSOneSample; dist deliberately has no dependency on other internal
-// packages.
-func ksStatistic(xs []float64, cdf func(float64) float64) float64 {
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+// ksStatisticSorted computes the one-sample KS statistic over an already-
+// sorted sample. It mirrors stats.KSOneSample minus the clone-and-sort;
+// dist deliberately has no dependency on other internal packages. The
+// fitting path sorts once and scores every family against the shared
+// buffer — this function must never re-derive the order itself.
+func ksStatisticSorted(sorted []float64, cdf func(float64) float64) float64 {
 	n := float64(len(sorted))
 	var d float64
 	for i, x := range sorted {

@@ -143,8 +143,8 @@ func quantileSorted(sorted []float64, p float64) float64 {
 // the sample only once. Invalid probabilities yield NaN entries; a sample
 // that is empty or contains NaN yields all-NaN output.
 func Quantiles(xs []float64, ps []float64) []float64 {
-	out := make([]float64, len(ps))
 	if len(xs) == 0 || hasNaN(xs) {
+		out := make([]float64, len(ps))
 		for i := range out {
 			out[i] = math.NaN()
 		}
@@ -152,6 +152,29 @@ func Quantiles(xs []float64, ps []float64) []float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return quantilesInto(make([]float64, len(ps)), sorted, ps)
+}
+
+// QuantilesSorted is Quantiles on an already-sorted, ascending sample: no
+// copy and no sort, so the only allocation is the output slice. The
+// single-sort contract of the analysis hot path (docs/PERFORMANCE.md)
+// rests on this entry point: sort once — or take the index's sorted
+// arena — then read every percentile from the same order statistics.
+// A sample that is empty or contains NaN yields all-NaN output, matching
+// Quantiles' poison semantics.
+func QuantilesSorted(sorted []float64, ps []float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(sorted) == 0 || hasNaN(sorted) {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	return quantilesInto(out, sorted, ps)
+}
+
+// quantilesInto fills out[i] with the ps[i]-quantile of the sorted sample.
+func quantilesInto(out, sorted []float64, ps []float64) []float64 {
 	for i, p := range ps {
 		if p < 0 || p > 1 || math.IsNaN(p) {
 			out[i] = math.NaN()
@@ -196,14 +219,42 @@ func Summarize(xs []float64) (Summary, error) {
 		return Summary{}, ErrEmpty
 	}
 	if hasNaN(xs) {
-		nan := math.NaN()
-		return Summary{
-			N: len(xs), Mean: nan, StdDev: nan,
-			Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan,
-		}, nil
+		return nanSummary(len(xs)), nil
 	}
+	// One clone, one sort: every order statistic and both moments read
+	// the same sorted buffer (the AllocsPerRun regression test pins the
+	// single-allocation budget).
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return summarizeSorted(sorted), nil
+}
+
+// SummarizeSorted is Summarize on an already-sorted, ascending sample:
+// zero allocations and zero sorts, for callers that hold a sorted arena
+// (the per-Run analysis index). NaN poison semantics match Summarize.
+func SummarizeSorted(sorted []float64) (Summary, error) {
+	if len(sorted) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	if hasNaN(sorted) {
+		return nanSummary(len(sorted)), nil
+	}
+	return summarizeSorted(sorted), nil
+}
+
+// nanSummary is the poisoned Summary of a NaN-containing sample of size n.
+func nanSummary(n int) Summary {
+	nan := math.NaN()
+	return Summary{
+		N: n, Mean: nan, StdDev: nan,
+		Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan,
+	}
+}
+
+// summarizeSorted computes the Summary of a sorted, NaN-free sample. The
+// moments are computed over the sorted order so Summarize keeps producing
+// bit-identical results whether the caller pre-sorted or not.
+func summarizeSorted(sorted []float64) Summary {
 	s := Summary{
 		N:      len(sorted),
 		Mean:   Mean(sorted),
@@ -216,7 +267,7 @@ func Summarize(xs []float64) (Summary, error) {
 	if len(sorted) > 1 {
 		s.StdDev = StdDev(sorted)
 	}
-	return s, nil
+	return s
 }
 
 // GeometricMean returns the geometric mean of xs. All elements must be

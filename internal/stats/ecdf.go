@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"sort"
 )
@@ -20,6 +21,27 @@ func NewECDF(xs []float64) (*ECDF, error) {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}, nil
+}
+
+// ErrUnsorted is returned by sorted-path constructors handed a sample
+// that is not in ascending order.
+var ErrUnsorted = errors.New("stats: sample not sorted ascending")
+
+// NewECDFSorted builds an ECDF directly over an already-sorted sample
+// WITHOUT copying: the ECDF aliases the given slice, so the caller must
+// never mutate it afterwards. This is the zero-copy entry point for the
+// analysis index's sorted arenas, where one sort is shared between the
+// ECDF, quantile, and distribution-fitting consumers. It returns
+// ErrEmpty for an empty sample and ErrUnsorted when the input is out of
+// order (an O(n) check, far cheaper than the sort it replaces).
+func NewECDFSorted(sorted []float64) (*ECDF, error) {
+	if len(sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		return nil, ErrUnsorted
+	}
 	return &ECDF{sorted: sorted}, nil
 }
 

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// readPool recycles the slurp buffers of the readers. Logs at the scale
+// this package handles (hundreds of thousands of rows) make the read
+// buffer by far the largest transient allocation of a load; pooling it
+// means a process ingesting many traces (the CLI's compare path, test
+// suites, simulation sweeps) allocates it once per concurrent reader
+// rather than once per call.
+var readPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// slurp reads all of r into a pooled buffer. The caller must hand the
+// buffer back via releaseBuf once every byte parsed from it has been
+// copied out (both readers copy: encoding/csv re-allocates field strings
+// per row and encoding/json copies into the target struct).
+func slurp(r io.Reader) (*bytes.Buffer, error) {
+	buf := readPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(r); err != nil {
+		releaseBuf(buf)
+		return nil, fmt.Errorf("trace: reading input: %w", err)
+	}
+	return buf, nil
+}
+
+// releaseBuf returns a slurp buffer to the pool. Buffers that grew
+// beyond maxPooledBuf are dropped so one huge trace cannot pin its
+// worth of memory for the life of the process.
+func releaseBuf(buf *bytes.Buffer) {
+	const maxPooledBuf = 16 << 20
+	if buf.Cap() <= maxPooledBuf {
+		readPool.Put(buf)
+	}
+}
+
+// countLines cheaply estimates the record count of a slurped input: the
+// number of newlines, plus one for a final unterminated line. Readers
+// use it to pre-size their record slices, replacing the append growth
+// ladder (log2(n) re-copies of the record slice) with one allocation.
+func countLines(data []byte) int {
+	n := bytes.Count(data, []byte{'\n'})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// utf8BOM is the byte-order mark Excel and PowerShell prepend to CSV
+// exports.
+var utf8BOM = []byte{0xEF, 0xBB, 0xBF}

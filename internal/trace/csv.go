@@ -4,7 +4,7 @@
 package trace
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/obs"
 )
 
 // csvHeader is the canonical column order of the CSV schema.
@@ -42,21 +43,25 @@ func formatRecovery(d time.Duration) string {
 // record plus a header row. Times are RFC 3339 in UTC; recovery is decimal
 // hours; GPU slots are semicolon-separated.
 func WriteCSV(w io.Writer, log *failures.Log) error {
+	defer obs.StartSpan("trace/write-csv").End()
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("trace: writing CSV header: %w", err)
 	}
-	for _, r := range log.Records() {
-		row := []string{
-			strconv.Itoa(r.ID),
-			r.System.String(),
-			r.Time.UTC().Format(time.RFC3339),
-			formatRecovery(r.Recovery),
-			string(r.Category),
-			r.Node,
-			joinGPUs(r.GPUs),
-			string(r.SoftwareCause),
-		}
+	// One row slice for the whole log, indexed by At rather than a full
+	// Records() copy: the write path holds no per-record state beyond
+	// the field strings themselves.
+	row := make([]string, len(csvHeader))
+	for i, n := 0, log.Len(); i < n; i++ {
+		r := log.At(i)
+		row[0] = strconv.Itoa(r.ID)
+		row[1] = r.System.String()
+		row[2] = r.Time.UTC().Format(time.RFC3339)
+		row[3] = formatRecovery(r.Recovery)
+		row[4] = string(r.Category)
+		row[5] = r.Node
+		row[6] = joinGPUs(r.GPUs)
+		row[7] = string(r.SoftwareCause)
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: writing record %d: %w", r.ID, err)
 		}
@@ -74,9 +79,24 @@ func WriteCSV(w io.Writer, log *failures.Log) error {
 // The reader is tolerant of the artifacts spreadsheet exports introduce:
 // a leading UTF-8 byte-order mark, CRLF line endings, and whitespace
 // padding around field values.
+//
+// The input is slurped into a pooled buffer and the record slice is
+// pre-sized from its line count, so a load performs one input read and
+// one record-slice allocation regardless of log size.
 func ReadCSV(r io.Reader) (*failures.Log, error) {
-	cr := csv.NewReader(stripBOM(r))
+	defer obs.StartSpan("trace/read-csv").End()
+	buf, err := slurp(r)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseBuf(buf)
+	data := bytes.TrimPrefix(buf.Bytes(), utf8BOM)
+
+	cr := csv.NewReader(bytes.NewReader(data))
 	cr.FieldsPerRecord = len(csvHeader)
+	// Row slices are reused across Read calls; parseRow only keeps the
+	// field strings, which encoding/csv allocates fresh per row.
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
@@ -86,10 +106,13 @@ func ReadCSV(r io.Reader) (*failures.Log, error) {
 			return nil, fmt.Errorf("trace: CSV column %d is %q, want %q", i, header[i], col)
 		}
 	}
-	var (
-		records []failures.Failure
-		system  failures.System
-	)
+	lines := countLines(data)
+	if lines > 0 {
+		lines-- // header
+	}
+	obs.Add("trace/csv_rows", int64(lines))
+	records := make([]failures.Failure, 0, lines)
+	var system failures.System
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
@@ -115,17 +138,6 @@ func ReadCSV(r io.Reader) (*failures.Log, error) {
 		return nil, fmt.Errorf("trace: validating CSV log: %w", err)
 	}
 	return log, nil
-}
-
-// stripBOM removes a leading UTF-8 byte-order mark, which Excel and
-// PowerShell prepend to CSV exports; encoding/csv would otherwise fold it
-// into the first header column.
-func stripBOM(r io.Reader) io.Reader {
-	br := bufio.NewReader(r)
-	if lead, err := br.Peek(3); err == nil && lead[0] == 0xEF && lead[1] == 0xBB && lead[2] == 0xBF {
-		br.Discard(3)
-	}
-	return br
 }
 
 func parseRow(row []string) (failures.Failure, error) {

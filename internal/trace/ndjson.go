@@ -2,12 +2,14 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/failures"
+	"repro/internal/obs"
 )
 
 // jsonRecord is the NDJSON wire form of one failure record.
@@ -25,10 +27,16 @@ type jsonRecord struct {
 // WriteNDJSON writes the log as newline-delimited JSON, one record per
 // line.
 func WriteNDJSON(w io.Writer, log *failures.Log) error {
+	defer obs.StartSpan("trace/write-ndjson").End()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, r := range log.Records() {
-		rec := jsonRecord{
+	// One wire struct reused across the log, indexed by At rather than a
+	// full Records() copy; Encode serializes the current field values, so
+	// reuse is safe.
+	var rec jsonRecord
+	for i, n := 0, log.Len(); i < n; i++ {
+		r := log.At(i)
+		rec = jsonRecord{
 			ID:            r.ID,
 			System:        r.System.String(),
 			Time:          r.Time.UTC(),
@@ -50,12 +58,24 @@ func WriteNDJSON(w io.Writer, log *failures.Log) error {
 
 // ReadNDJSON parses a newline-delimited JSON failure log. Blank lines are
 // skipped; the result is validated and time-sorted.
+//
+// As with ReadCSV, the input is slurped into a pooled buffer and the
+// record slice pre-sized from its line count: one input read, one
+// record-slice allocation.
 func ReadNDJSON(r io.Reader) (*failures.Log, error) {
-	dec := json.NewDecoder(r)
-	var (
-		records []failures.Failure
-		system  failures.System
-	)
+	defer obs.StartSpan("trace/read-ndjson").End()
+	buf, err := slurp(r)
+	if err != nil {
+		return nil, err
+	}
+	defer releaseBuf(buf)
+	data := buf.Bytes()
+
+	dec := json.NewDecoder(bytes.NewReader(data))
+	lines := countLines(data)
+	obs.Add("trace/ndjson_rows", int64(lines))
+	records := make([]failures.Failure, 0, lines)
+	var system failures.System
 	for line := 1; ; line++ {
 		var rec jsonRecord
 		if err := dec.Decode(&rec); err == io.EOF {

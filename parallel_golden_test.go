@@ -1,10 +1,13 @@
 package tsubame_test
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	tsubame "repro"
+	"repro/internal/core"
 )
 
 // TestParallelReportByteIdentical is the end-to-end determinism golden:
@@ -33,6 +36,74 @@ func TestParallelReportByteIdentical(t *testing.T) {
 		}
 		if a, b := tsubame.RenderMarkdownReport(seq), tsubame.RenderMarkdownReport(par); a != b {
 			t.Errorf("width %d: markdown report not byte-identical", width)
+		}
+	}
+}
+
+// TestIndexedRunMatchesPreIndexGolden is the index refactor's equivalence
+// gate: the committed golden files were generated BEFORE core.Run was
+// rewired through the memoized index (internal/index), so a byte-equal
+// render proves the indexed battery reproduces the pre-index sequential
+// output exactly — element order, float accumulation order and all.
+func TestIndexedRunMatchesPreIndexGolden(t *testing.T) {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := tsubame.Compare(t2, t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("internal", "report", "testdata", "full_report_seed42.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tsubame.RenderFullReport(cmp); got != string(want) {
+		t.Errorf("indexed full report diverged from the pre-index golden (%d vs %d bytes)", len(got), len(want))
+	}
+	wantMD, err := os.ReadFile(filepath.Join("internal", "report", "testdata", "markdown_report_seed42.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tsubame.RenderMarkdownReport(cmp); got != string(wantMD) {
+		t.Errorf("indexed markdown report diverged from the pre-index golden")
+	}
+}
+
+// TestStandaloneAnalysesMatchSharedIndex checks the public per-analysis
+// wrappers (each building a private index over the log) land on exactly
+// the Study fields produced by Run's shared index: sharing one view
+// across phases must never change a result.
+func TestStandaloneAnalysesMatchSharedIndex(t *testing.T) {
+	t2, t3, err := tsubame.GenerateBoth(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, log := range []*tsubame.Log{t2, t3} {
+		study, err := tsubame.AnalyzeParallel(log, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := core.CategoryBreakdown(log); err != nil || !reflect.DeepEqual(got, study.Breakdown) {
+			t.Errorf("%v: standalone CategoryBreakdown diverges (%v)", log.System(), err)
+		}
+		if got, err := core.TBFAnalysis(log); err != nil || !reflect.DeepEqual(got, study.TBF) {
+			t.Errorf("%v: standalone TBFAnalysis diverges (%v)", log.System(), err)
+		}
+		if got, err := core.TTRAnalysis(log); err != nil || !reflect.DeepEqual(got, study.TTR) {
+			t.Errorf("%v: standalone TTRAnalysis diverges (%v)", log.System(), err)
+		}
+		if got, err := core.TBFByCategory(log, 5); err != nil || !reflect.DeepEqual(got, study.TBFPerType) {
+			t.Errorf("%v: standalone TBFByCategory diverges (%v)", log.System(), err)
+		}
+		if got, err := core.TTRByCategory(log, 2); err != nil || !reflect.DeepEqual(got, study.TTRPerType) {
+			t.Errorf("%v: standalone TTRByCategory diverges (%v)", log.System(), err)
+		}
+		if got, err := core.MonthlySeasonality(log); err != nil || !reflect.DeepEqual(got, study.Seasonal) {
+			t.Errorf("%v: standalone MonthlySeasonality diverges (%v)", log.System(), err)
+		}
+		if got, err := core.NodeFailureCounts(log); err != nil || !reflect.DeepEqual(got, study.NodeCounts) {
+			t.Errorf("%v: standalone NodeFailureCounts diverges (%v)", log.System(), err)
 		}
 	}
 }
