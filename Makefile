@@ -9,7 +9,7 @@ GO ?= go
 PERF_BENCH = ^BenchmarkPerf
 PERF_BENCHFLAGS = -bench='$(PERF_BENCH)' -benchtime=5x -count=3 -run='^$$'
 
-.PHONY: build test race bench bench-baseline bench-check bench-smoke fuzz-smoke vet lint ci clean
+.PHONY: build test race bench bench-baseline bench-check bench-smoke profile-gen fuzz-smoke vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -54,6 +54,14 @@ bench-check:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -json ./... | tee BENCH_ci.json
 
+## profile-gen: CPU and allocation pprof profiles of the end-to-end 100k
+## generate+encode pipeline (BenchmarkPerfGenerateEncode100k). Inspect
+## with `go tool pprof PROFILE_gen_cpu.out`; CI uploads both profiles as
+## an artifact next to the BENCH_delta table.
+profile-gen:
+	$(GO) test -bench='^BenchmarkPerfGenerateEncode100k$$' -benchtime=20x -run='^$$' \
+		-cpuprofile PROFILE_gen_cpu.out -memprofile PROFILE_gen_mem.out .
+
 ## fuzz-smoke: 30 seconds of coverage-guided fuzzing on the trace
 ## parsers, 15 s per target. Go permits one -fuzz target per invocation,
 ## so the two targets run back to back.
@@ -71,4 +79,4 @@ lint:
 ci: build vet test race bench-smoke fuzz-smoke
 
 clean:
-	rm -f BENCH_ci.json BENCH_perf.txt
+	rm -f BENCH_ci.json BENCH_perf.txt PROFILE_gen_cpu.out PROFILE_gen_mem.out repro.test

@@ -14,6 +14,7 @@ package tsubame_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/failures"
 	"repro/internal/index"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -218,6 +220,83 @@ func BenchmarkPerfReadCSV100k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := trace.ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfGenerate100k measures the synthesis pipeline alone: six
+// forked substreams, alias-table GPU-slot draws, and the pooled Fenwick
+// affected-node sampler over the scaled fleet. This is where the old
+// linear CDF scans dominated (the node draw rescanned the whole fleet's
+// weight vector per pick).
+func BenchmarkPerfGenerate100k(b *testing.B) {
+	p := scaledTsubame3Profile(perfScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(p, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfGenerateEncode100k is the headline end-to-end data-plane
+// benchmark of the perf acceptance criteria: generate the 100k-record
+// log and encode it to NDJSON, sampler and encoder costs combined.
+func BenchmarkPerfGenerateEncode100k(b *testing.B) {
+	p := scaledTsubame3Profile(perfScale)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		log, err := synth.Generate(p, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := trace.WriteNDJSON(&buf, log); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkPerfGenerateMany measures the multi-seed fan-out: eight
+// unscaled Tsubame-3 logs across every core, each byte-identical to its
+// sequential Generate.
+func BenchmarkPerfGenerateMany(b *testing.B) {
+	p := synth.Tsubame3Profile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.GenerateMany(p, benchSeeds, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfWriteNDJSON100k measures the append-based NDJSON encoder
+// (pooled buffers, no reflection; byte-identical to the json.Encoder
+// path it replaced).
+func BenchmarkPerfWriteNDJSON100k(b *testing.B) {
+	log := perfLog(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.WriteNDJSON(&buf, log); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkPerfSimTrials measures the multi-trial simulator fan-out with
+// the per-process involvement alias tables, eight fitted-process trials
+// across every core.
+func BenchmarkPerfSimTrials(b *testing.B) {
+	cfg := benchTrialConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTrials(context.Background(), cfg, benchSeeds, 0, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

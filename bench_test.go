@@ -10,6 +10,7 @@
 package tsubame_test
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -578,7 +579,7 @@ func BenchmarkSimTrialsSequential(b *testing.B) {
 	cfg := benchTrialConfig(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunTrials(cfg, benchSeeds, 1, nil); err != nil {
+		if _, err := sim.RunTrials(context.Background(), cfg, benchSeeds, 1, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -591,7 +592,7 @@ func BenchmarkParallelSimTrials(b *testing.B) {
 	cfg := benchTrialConfig(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunTrials(cfg, benchSeeds, 0, nil); err != nil {
+		if _, err := sim.RunTrials(context.Background(), cfg, benchSeeds, 0, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

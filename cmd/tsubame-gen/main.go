@@ -9,12 +9,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 
 	tsubame "repro"
 	"repro/internal/cli"
@@ -95,8 +101,10 @@ func main() {
 	}
 }
 
-// generateRuns produces runs logs with consecutive seeds, generating
-// across the worker pool and writing one file per seed.
+// generateRuns produces runs logs with consecutive seeds, streaming each
+// log from the generating worker straight into its output file: peak
+// memory is one log per pool worker rather than one per seed, and Ctrl-C
+// stops launching new seeds (files already written stay on disk).
 func generateRuns(run *cli.Run, profilePath, systemName string, firstSeed int64, runs, parallelism int, format, out string) error {
 	if !strings.Contains(out, "%d") {
 		return fmt.Errorf("-runs %d needs -out containing %%d for the seed (got %q)", runs, out)
@@ -109,12 +117,13 @@ func generateRuns(run *cli.Run, profilePath, systemName string, firstSeed int64,
 	for i := range seeds {
 		seeds[i] = firstSeed + int64(i)
 	}
-	logs, err := tsubame.GenerateMany(profile, seeds, parallelism)
-	if err != nil {
-		return err
-	}
-	total := 0
-	for i, failureLog := range logs {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var (
+		total, logs atomic.Int64
+		stderrMu    sync.Mutex // interleave whole lines, not fragments
+	)
+	err = tsubame.GenerateEach(ctx, profile, seeds, parallelism, func(i int, failureLog *tsubame.Log) error {
 		name := fmt.Sprintf(out, seeds[i])
 		f, err := os.Create(name)
 		if err != nil {
@@ -127,12 +136,22 @@ func generateRuns(run *cli.Run, profilePath, systemName string, firstSeed int64,
 		if err := f.Close(); err != nil {
 			return err
 		}
-		total += failureLog.Len()
+		total.Add(int64(failureLog.Len()))
+		logs.Add(1)
+		stderrMu.Lock()
 		fmt.Fprintf(os.Stderr, "wrote %d %v failures to %s\n", failureLog.Len(), failureLog.System(), name)
+		stderrMu.Unlock()
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted after %d of %d logs", logs.Load(), runs)
+		}
+		return err
 	}
 	if m := run.Manifest(); m != nil {
-		m.SetRecordCount("records", total)
-		m.SetRecordCount("logs", len(logs))
+		m.SetRecordCount("records", int(total.Load()))
+		m.SetRecordCount("logs", int(logs.Load()))
 	}
 	fmt.Fprintf(os.Stderr, "generated %d logs (seeds %d..%d) with parallelism %d\n",
 		runs, firstSeed, firstSeed+int64(runs)-1, parallel.Width(parallelism, runs))

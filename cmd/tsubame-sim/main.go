@@ -12,10 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	tsubame "repro"
 	"repro/internal/cli"
@@ -99,7 +104,11 @@ func main() {
 		m.SetRecordCount("fitted_records", failureLog.Len())
 	}
 	if *trials > 1 {
-		runTrials(obsRun, sys, cfg, *seed, *trials, *para, partsFor)
+		// Ctrl-C stops launching new trials and exits after the in-flight
+		// ones finish, instead of burning through the remaining seeds.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		runTrials(ctx, obsRun, sys, cfg, *seed, *trials, *para, partsFor)
 		if err := obsRun.Finish(); err != nil {
 			log.Fatal(err)
 		}
@@ -166,13 +175,16 @@ func main() {
 // runTrials replicates the simulation across consecutive seeds on a
 // bounded worker pool and prints per-trial lines plus the across-trial
 // aggregate.
-func runTrials(obsRun *cli.Run, sys tsubame.System, cfg tsubame.SimConfig, firstSeed int64, trials, parallelism int, partsFor func() (tsubame.PartsPolicy, error)) {
+func runTrials(ctx context.Context, obsRun *cli.Run, sys tsubame.System, cfg tsubame.SimConfig, firstSeed int64, trials, parallelism int, partsFor func() (tsubame.PartsPolicy, error)) {
 	seeds := make([]int64, trials)
 	for i := range seeds {
 		seeds[i] = firstSeed + int64(i)
 	}
-	results, err := tsubame.RunSimulationTrials(cfg, seeds, parallelism, partsFor)
+	results, err := tsubame.RunSimulationTrialsContext(ctx, cfg, seeds, parallelism, partsFor)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted before all trials completed")
+		}
 		log.Fatal(err)
 	}
 	st, err := tsubame.SummarizeSimulationTrials(results)

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+
+	"repro/internal/sample"
 )
 
 // Mixture is a finite mixture of component distributions. The repair-time
@@ -14,8 +16,8 @@ import (
 // require replacing the hardware".
 type Mixture struct {
 	components []Distribution
-	weights    []float64 // normalized
-	cum        []float64 // cumulative weights for sampling
+	weights    []float64     // normalized
+	picker     *sample.Alias // O(1) component choice, one variate per draw
 }
 
 // NewMixture builds a mixture of the given components with the given
@@ -41,27 +43,23 @@ func NewMixture(components []Distribution, weights []float64) (*Mixture, error) 
 	m := &Mixture{
 		components: append([]Distribution(nil), components...),
 		weights:    make([]float64, len(weights)),
-		cum:        make([]float64, len(weights)),
 	}
-	var running float64
 	for i, w := range weights {
 		m.weights[i] = w / total
-		running += w / total
-		m.cum[i] = running
 	}
-	m.cum[len(m.cum)-1] = 1 // guard against accumulated rounding
+	picker, err := sample.NewAlias(m.weights)
+	if err != nil {
+		return nil, fmt.Errorf("dist: building mixture sampler: %w", err)
+	}
+	m.picker = picker
 	return m, nil
 }
 
-// Sample picks a component by weight and samples it.
+// Sample picks a component by weight and samples it. The component draw
+// goes through an alias table built once in NewMixture — O(1) per draw
+// instead of a cumulative-weight scan, still one uniform variate.
 func (m *Mixture) Sample(rng *rand.Rand) float64 {
-	u := rng.Float64()
-	for i, c := range m.cum {
-		if u <= c {
-			return m.components[i].Sample(rng)
-		}
-	}
-	return m.components[len(m.components)-1].Sample(rng)
+	return m.components[m.picker.Draw(rng)].Sample(rng)
 }
 
 // Mean returns the weighted mean of component means.

@@ -1,0 +1,112 @@
+// Package sample provides the repository's weighted-sampling kernels:
+// constant-time alias tables for with-replacement categorical draws and a
+// Fenwick-tree sampler for without-replacement draws with weight removal.
+//
+// Both kernels separate construction (linear in the number of outcomes)
+// from drawing (O(1) for the alias table, O(log n) for the Fenwick tree),
+// so a sampler built once per profile or process amortizes to near-zero
+// per-record cost. This replaces the linear CDF scans the synthetic
+// generator and simulator used to run per draw, which made every draw
+// O(n) in the outcome count — the dominant cost of generating
+// fleet-scale logs, where the affected-node draw scanned the whole
+// fleet's weight vector per pick.
+//
+// Every kernel consumes variates from a caller-supplied *rand.Rand only,
+// so draws stay deterministic in (weights, seed) and the package slots
+// into the repository's forked-substream discipline (dist.Fork).
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Alias is a Vose alias table: a categorical distribution over n
+// outcomes supporting with-replacement draws in O(1) time and exactly
+// one uniform variate per draw.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table over the given non-negative weights
+// (normalized internally). At least one weight must be positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sample: alias table needs at least one weight")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || w != w {
+			return nil, fmt.Errorf("sample: alias weight %d is invalid (%v)", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sample: alias weights sum to zero")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Vose's method: scale weights to mean 1, split into small (< 1) and
+	// large (>= 1) worklists, and pair each small column with a large
+	// donor. The two worklists share one backing array.
+	scaled := make([]float64, n)
+	worklist := make([]int, n)
+	small, large := 0, n // small grows up from 0, large grows down from n
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			worklist[small] = i
+			small++
+		} else {
+			large--
+			worklist[large] = i
+		}
+	}
+	for small > 0 && large < n {
+		small--
+		s := worklist[small]
+		l := worklist[large]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			worklist[small] = l
+			small++
+			large++
+		}
+	}
+	// Whatever remains on either list is numerically 1.
+	for i := 0; i < small; i++ {
+		a.prob[worklist[i]] = 1
+		a.alias[worklist[i]] = worklist[i]
+	}
+	for i := large; i < n; i++ {
+		a.prob[worklist[i]] = 1
+		a.alias[worklist[i]] = worklist[i]
+	}
+	return a, nil
+}
+
+// Draw returns one outcome index with probability proportional to its
+// construction weight, consuming exactly one uniform variate.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	// One variate supplies both the column pick and the coin flip: the
+	// integer part selects the column, the fractional remainder (uniform
+	// on [0,1) and independent of the column) decides column vs alias.
+	u := rng.Float64() * float64(len(a.prob))
+	col := int(u)
+	if col == len(a.prob) { // u == n after rounding
+		col--
+	}
+	if u-float64(col) < a.prob[col] {
+		return col
+	}
+	return a.alias[col]
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }

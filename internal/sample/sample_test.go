@@ -1,0 +1,296 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chiSquareUnder tests that observed counts are plausible draws from the
+// expected proportions: the chi-square statistic must stay below bound
+// (callers pass a generous quantile for the cell count involved).
+func chiSquareUnder(t *testing.T, counts []int, weights []float64, bound float64) {
+	t.Helper()
+	var total float64
+	n := 0
+	for _, w := range weights {
+		total += w
+	}
+	for _, c := range counts {
+		n += c
+	}
+	var chi2 float64
+	for i, c := range counts {
+		expected := float64(n) * weights[i] / total
+		if expected == 0 {
+			if c != 0 {
+				t.Fatalf("outcome %d has zero weight but %d draws", i, c)
+			}
+			continue
+		}
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > bound {
+		t.Errorf("chi-square = %.1f exceeds %.1f (counts %v)", chi2, bound, counts)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1.5, 0.75, 0.75, 1.5, 0, 3.0}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(weights))
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(rng)]++
+	}
+	// 5 free cells; chi-square 99.9th percentile at 4 dof is ~18.5.
+	chiSquareUnder(t, counts, weights, 25)
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if a.Draw(rng) != 0 {
+			t.Fatal("single-outcome alias drew a different index")
+		}
+	}
+}
+
+func TestAliasDeterministic(t *testing.T) {
+	weights := []float64{0.3, 0.2, 0.5}
+	a, _ := NewAlias(weights)
+	b, _ := NewAlias(weights)
+	r1, r2 := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if a.Draw(r1) != b.Draw(r2) {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+func TestAliasRejectsBadWeights(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewAlias([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+}
+
+func TestFenwickMatchesWeights(t *testing.T) {
+	weights := []float64{2, 1, 0, 4, 3}
+	f, err := NewFenwick(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, len(weights))
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[f.Draw(rng)]++
+	}
+	// 4 free cells; chi-square 99.9th percentile at 3 dof is ~16.3.
+	chiSquareUnder(t, counts, weights, 22)
+}
+
+func TestFenwickTakeIsWithoutReplacement(t *testing.T) {
+	weights := []float64{5, 1, 3, 2, 4, 6, 0.5, 2.5}
+	f, err := NewFenwick(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	seen := make(map[int]bool)
+	for i := 0; i < len(weights); i++ {
+		idx := f.Take(rng)
+		if seen[idx] {
+			t.Fatalf("index %d drawn twice", idx)
+		}
+		seen[idx] = true
+	}
+	if f.Total() > 1e-9 {
+		t.Errorf("total %v after exhausting all weights, want 0", f.Total())
+	}
+}
+
+// TestFenwickMatchesLinearScan pins the Fenwick pick rule to the linear
+// CDF scan it replaces: for the same uniform variate both select the
+// first index whose cumulative weight reaches u.
+func TestFenwickMatchesLinearScan(t *testing.T) {
+	// Quarter-multiples are exact in binary floating point, so partial
+	// sums agree bitwise regardless of association order and the pick
+	// comparison is exact.
+	weights := []float64{0.25, 0, 1.5, 3, 0.5, 2, 0, 0.75}
+	f, err := NewFenwick(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := func(u float64) int {
+		var cum float64
+		for i, w := range weights {
+			if w == 0 {
+				continue
+			}
+			cum += w
+			if u <= cum {
+				return i
+			}
+		}
+		return len(weights) - 1
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100000; i++ {
+		u := rng.Float64() * f.Total()
+		if got, want := f.pickAt(u), linear(u); got != want {
+			t.Fatalf("u=%v: pickAt=%d, linear scan=%d", u, got, want)
+		}
+	}
+	// Exact boundary values: u equal to a cumulative sum picks the index
+	// that completes it, matching the scan's u <= cum rule.
+	var cum float64
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		cum += w
+		if got := f.pickAt(cum); got != i {
+			t.Errorf("u at boundary %d: pickAt=%d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestFenwickRemoveRenormalizes(t *testing.T) {
+	weights := []float64{10, 1, 1}
+	f, err := NewFenwick(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Remove(0)
+	if got := f.Total(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("total after removal = %v, want 2", got)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 3)
+	for i := 0; i < 50000; i++ {
+		counts[f.Draw(rng)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("removed index drawn %d times", counts[0])
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("post-removal draw ratio = %.3f, want ~1", ratio)
+	}
+}
+
+func TestFenwickResetReusesStorage(t *testing.T) {
+	f, err := NewFenwick([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	f.Take(rng)
+	f.Take(rng)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := f.ResetFunc(4, func(i int) float64 { return float64(i + 1) }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("ResetFunc at same size allocates %.1f times per run, want 0", allocs)
+	}
+	if got := f.Total(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("total after reset = %v, want 10", got)
+	}
+	// Shrinking reuses too.
+	if err := f.Reset([]float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 1 || f.Total() != 5 {
+		t.Errorf("shrunk sampler: n=%d total=%v", f.N(), f.Total())
+	}
+}
+
+func TestFenwickRejectsBadWeights(t *testing.T) {
+	if _, err := NewFenwick(nil); err == nil {
+		t.Error("empty weights should fail")
+	}
+	if _, err := NewFenwick([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights should fail")
+	}
+	if _, err := NewFenwick([]float64{1, -2}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewFenwick([]float64{math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+}
+
+func TestFenwickDeterministic(t *testing.T) {
+	weights := make([]float64, 1000)
+	for i := range weights {
+		weights[i] = 1 + float64(i%7)
+	}
+	a, _ := NewFenwick(weights)
+	b, _ := NewFenwick(weights)
+	r1, r2 := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		if a.Take(r1) != b.Take(r2) {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	weights := make([]float64, 1024)
+	for i := range weights {
+		weights[i] = 1 + float64(i%13)
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Draw(rng)
+	}
+}
+
+func BenchmarkFenwickTake(b *testing.B) {
+	weights := make([]float64, 1<<16)
+	for i := range weights {
+		weights[i] = 1 + float64(i%13)
+	}
+	f, err := NewFenwick(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(len(weights)/2) == 0 {
+			b.StopTimer()
+			if err := f.Reset(weights); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		f.Take(rng)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/failures"
 	"repro/internal/obs"
+	"repro/internal/sample"
 )
 
 // Scope is the blast radius of a failure stream.
@@ -215,11 +216,25 @@ type repairTask struct {
 	discounted bool // arrived under a proactive-recovery alarm
 }
 
-// procState couples a process with its deterministic sampling streams.
+// procState couples a process with its deterministic sampling streams
+// and the alias table for its GPU-involvement PMF (nil when the process
+// carries none), built once per Run instead of scanned per failure.
 type procState struct {
-	proc       FailureProcess
-	arrivalRNG *rand.Rand
-	repairRNG  *rand.Rand
+	proc        FailureProcess
+	arrivalRNG  *rand.Rand
+	repairRNG   *rand.Rand
+	involvement *sample.Alias
+}
+
+// drawInvolvement samples the number of GPU cards a failure takes down
+// from the process involvement PMF (0 when the process carries none).
+// The alias draw consumes one uniform variate, exactly like the
+// cumulative-weight scan it replaced.
+func (st *procState) drawInvolvement() int {
+	if st.involvement == nil {
+		return 0
+	}
+	return st.involvement.Draw(st.arrivalRNG) + 1
 }
 
 // Run executes the simulation described by cfg. Runs are fully
@@ -239,11 +254,19 @@ func Run(cfg Config) (*Result, error) {
 
 	states := make(map[failures.Category]*procState, len(cfg.Processes))
 	for _, p := range cfg.Processes {
-		states[p.Category] = &procState{
+		st := &procState{
 			proc:       p,
 			arrivalRNG: dist.Fork(cfg.Seed, "arrival/"+string(p.Category)),
 			repairRNG:  dist.Fork(cfg.Seed, "repair/"+string(p.Category)),
 		}
+		if len(p.Involvement) > 0 {
+			alias, err := sample.NewAlias(p.Involvement)
+			if err != nil {
+				return nil, fmt.Errorf("sim: involvement PMF for %s: %w", p.Category, err)
+			}
+			st.involvement = alias
+		}
+		states[p.Category] = st
 	}
 
 	freeCrews := cfg.Crews
@@ -313,7 +336,7 @@ func Run(cfg Config) (*Result, error) {
 			stats.Failures++
 			res.PerCategory[st.proc.Category] = stats
 			nodes := pickVictims(st.proc, cfg, st.arrivalRNG)
-			cards := drawInvolvement(st.proc.Involvement, st.arrivalRNG)
+			cards := st.drawInvolvement()
 			parts.Observe(st.proc.Category, eng.Now())
 			discounted := false
 			if cfg.Proactive != nil {
@@ -354,23 +377,6 @@ func Run(cfg Config) (*Result, error) {
 		res.MeanTimeToRestore = totalRestore / float64(res.BegunRepairs)
 	}
 	return res, nil
-}
-
-// drawInvolvement samples the number of GPU cards a failure takes down
-// from the process PMF (0 when the process carries none).
-func drawInvolvement(pmf []float64, rng *rand.Rand) int {
-	if len(pmf) == 0 {
-		return 0
-	}
-	u := rng.Float64()
-	var cum float64
-	for i, p := range pmf {
-		cum += p
-		if u <= cum {
-			return i + 1
-		}
-	}
-	return len(pmf)
 }
 
 // pickVictims selects the nodes a failure takes down: one uniform node,

@@ -14,15 +14,19 @@ import (
 // results in seed order. Trial i is byte-identical to a sequential
 // Run of cfg with Seed seeds[i]; parallelism 1 reproduces the loop.
 //
+// Cancelling ctx stops the pool: no new trials start, in-flight trials
+// finish, and the context error is returned — this is how tsubame-sim
+// aborts cleanly on SIGINT instead of burning through remaining seeds.
+//
 // cfg.Parts is ignored: parts policies are stateful, so sharing one
 // instance across concurrent trials would race and couple their
 // outcomes. Pass a factory that builds a fresh policy per trial, or nil
 // for always-available spares.
-func RunTrials(cfg Config, seeds []int64, parallelism int, parts func() (PartsPolicy, error)) ([]*Result, error) {
+func RunTrials(ctx context.Context, cfg Config, seeds []int64, parallelism int, parts func() (PartsPolicy, error)) ([]*Result, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sim: RunTrials needs at least one seed")
 	}
-	return parallel.Map(context.Background(), parallelism, seeds, func(_ context.Context, i int, seed int64) (*Result, error) {
+	return parallel.Map(ctx, parallelism, seeds, func(_ context.Context, i int, seed int64) (*Result, error) {
 		defer obs.StartSpan("sim/trial").End()
 		trial := cfg
 		trial.Seed = seed

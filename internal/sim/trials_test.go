@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunTrialsMatchesSequentialRuns(t *testing.T) {
+	cfg := baseConfig(t)
+	seeds := []int64{1, 2, 3, 4}
+	got, err := RunTrials(context.Background(), cfg, seeds, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		trial := cfg
+		trial.Seed = seed
+		want, err := Run(trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Failures != want.Failures || got[i].Availability != want.Availability {
+			t.Errorf("trial %d (seed %d): got %d failures / %v availability, want %d / %v",
+				i, seed, got[i].Failures, got[i].Availability, want.Failures, want.Availability)
+		}
+	}
+}
+
+func TestRunTrialsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunTrials(ctx, baseConfig(t), []int64{1, 2, 3}, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunTrials returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunTrialsNeedsSeeds(t *testing.T) {
+	if _, err := RunTrials(context.Background(), baseConfig(t), nil, 0, nil); err == nil {
+		t.Fatal("RunTrials with no seeds succeeded")
+	}
+}

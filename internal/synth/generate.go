@@ -75,6 +75,23 @@ func GenerateMany(p *Profile, seeds []int64, parallelism int) ([]*failures.Log, 
 	})
 }
 
+// GenerateEach is GenerateMany without the materialized batch: each log
+// is handed to fn as soon as its generation finishes, then released, so
+// peak memory is one log per pool worker rather than one per seed.
+// fn runs concurrently from pool workers and receives the seed's index
+// into seeds; it must do its own synchronization if consumers share
+// state. Cancelling ctx stops launching new seeds, lets in-flight ones
+// finish, and returns the context error.
+func GenerateEach(ctx context.Context, p *Profile, seeds []int64, parallelism int, fn func(i int, log *failures.Log) error) error {
+	return parallel.ForEach(ctx, parallelism, seeds, func(_ context.Context, i int, seed int64) error {
+		log, err := Generate(p, seed)
+		if err != nil {
+			return err
+		}
+		return fn(i, log)
+	})
+}
+
 // GenerateBoth produces the Tsubame-2 and Tsubame-3 logs with one seed,
 // the common entry point of the paper-reproduction pipeline.
 func GenerateBoth(seed int64) (t2, t3 *failures.Log, err error) {

@@ -6,7 +6,84 @@ import (
 	"math/rand"
 
 	"repro/internal/failures"
+	"repro/internal/sample"
 )
+
+// slotSampler draws GPU slot identities against the profile's per-slot
+// weights (Figure 5). It is built once per generation and reused across
+// every record: single-slot draws (the overwhelming majority under the
+// Table III involvement mix) go through a constant-time alias table, and
+// multi-slot draws reuse one scratch weight vector with a running total
+// instead of re-copying the profile weights and re-summing them per
+// iteration.
+type slotSampler struct {
+	alias   *sample.Alias
+	weights []float64 // profile slot weights, read-only
+	total   float64   // sum of weights, computed once
+	scratch []float64 // per-draw working copy for k >= 2, reused
+}
+
+func newSlotSampler(weights []float64) (*slotSampler, error) {
+	a, err := sample.NewAlias(weights)
+	if err != nil {
+		return nil, fmt.Errorf("synth: slot sampler: %w", err)
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	return &slotSampler{
+		alias:   a,
+		weights: weights,
+		total:   total,
+		scratch: make([]float64, len(weights)),
+	}, nil
+}
+
+// sample draws k distinct GPU slots weighted by the profile's slot
+// weights, appending them to dst (reused by callers to avoid per-record
+// slices when possible).
+func (s *slotSampler) sample(k int, rng *rand.Rand) ([]int, error) {
+	nSlots := len(s.weights)
+	if k > nSlots {
+		return nil, fmt.Errorf("synth: cannot involve %d GPUs with %d slots", k, nSlots)
+	}
+	slots := make([]int, 0, k)
+	if k == 1 {
+		// With-replacement and without-replacement coincide for a single
+		// draw: O(1) through the alias table.
+		return append(slots, s.alias.Draw(rng)), nil
+	}
+	copy(s.scratch, s.weights)
+	total := s.total
+	for len(slots) < k {
+		u := rng.Float64() * total
+		var cum float64
+		pick := -1
+		for i, w := range s.scratch {
+			if w == 0 {
+				continue
+			}
+			cum += w
+			if u <= cum {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 { // numeric edge: take the last positive weight
+			for i := nSlots - 1; i >= 0; i-- {
+				if s.scratch[i] > 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		slots = append(slots, pick)
+		total -= s.scratch[pick]
+		s.scratch[pick] = 0
+	}
+	return slots, nil
+}
 
 // assignGPUs attaches GPU slot sets to every GPU-related record. GPU-
 // category records draw their simultaneous-involvement size from the
@@ -28,9 +105,16 @@ func assignGPUs(p *Profile, records []failures.Failure, rng *rand.Rand) error {
 	if err != nil {
 		return err
 	}
-	assigned := placeInvolvements(p, records, gpuIdx, sizes, rng)
+	sampler, err := newSlotSampler(p.GPUSlotWeights)
+	if err != nil {
+		return err
+	}
+	assigned, err := placeInvolvements(p, records, gpuIdx, sizes, rng)
+	if err != nil {
+		return err
+	}
 	for pos, idx := range gpuIdx {
-		slots, err := sampleSlots(p, assigned[pos], rng)
+		slots, err := sampler.sample(assigned[pos], rng)
 		if err != nil {
 			return err
 		}
@@ -39,7 +123,7 @@ func assignGPUs(p *Profile, records []failures.Failure, rng *rand.Rand) error {
 	// Non-GPU-category records that still involve a card get one slot.
 	for i := range records {
 		if records[i].Category != failures.CatGPU && records[i].Category.GPURelated() {
-			slots, err := sampleSlots(p, 1, rng)
+			slots, err := sampler.sample(1, rng)
 			if err != nil {
 				return err
 			}
@@ -72,7 +156,11 @@ func involvementSizes(p *Profile, n int) ([]int, error) {
 // paper's observation that simultaneous multi-GPU failures arrive in
 // temporal clusters. Returns the size for each position (1 where nothing
 // special was placed).
-func placeInvolvements(p *Profile, records []failures.Failure, gpuIdx []int, sizes []int, rng *rand.Rand) []int {
+//
+// Uniform placement over the not-yet-taken positions runs through a
+// unit-weight Fenwick sampler: O(log n) per draw with removal, replacing
+// the per-placement rebuild of the full free-position list.
+func placeInvolvements(p *Profile, records []failures.Failure, gpuIdx []int, sizes []int, rng *rand.Rand) ([]int, error) {
 	out := make([]int, len(gpuIdx))
 	for i := range out {
 		out[i] = 1
@@ -84,18 +172,16 @@ func placeInvolvements(p *Profile, records []failures.Failure, gpuIdx []int, siz
 		}
 	}
 	rng.Shuffle(len(multiSizes), func(i, j int) { multiSizes[i], multiSizes[j] = multiSizes[j], multiSizes[i] })
+	if len(multiSizes) == 0 {
+		return out, nil
+	}
 
 	taken := make([]bool, len(gpuIdx))
-	var placed []int // positions already holding multi-GPU events
-	free := func() []int {
-		var f []int
-		for i, t := range taken {
-			if !t {
-				f = append(f, i)
-			}
-		}
-		return f
+	free, err := sample.NewFenwick(ones(len(gpuIdx)))
+	if err != nil {
+		return nil, fmt.Errorf("synth: involvement placement: %w", err)
 	}
+	var placed []int // positions already holding multi-GPU events
 	for _, size := range multiSizes {
 		pos := -1
 		if len(placed) > 0 && rng.Float64() < p.ClusterFraction {
@@ -103,17 +189,27 @@ func placeInvolvements(p *Profile, records []failures.Failure, gpuIdx []int, siz
 			pos = nearestFreeWithin(records, gpuIdx, taken, anchor, p.ClusterWindowHours)
 		}
 		if pos < 0 {
-			candidates := free()
-			if len(candidates) == 0 {
+			if free.Total() < 0.5 { // every position taken
 				break
 			}
-			pos = candidates[rng.Intn(len(candidates))]
+			pos = free.Take(rng)
+		} else {
+			free.Remove(pos)
 		}
 		taken[pos] = true
 		out[pos] = size
 		placed = append(placed, pos)
 	}
-	return out
+	return out, nil
+}
+
+// ones returns a unit-weight vector of length n.
+func ones(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
 }
 
 // nearestFreeWithin finds the free GPU-event position closest in time to
@@ -140,45 +236,4 @@ func nearestFreeWithin(records []failures.Failure, gpuIdx []int, taken []bool, a
 		}
 	}
 	return best
-}
-
-// sampleSlots draws k distinct GPU slots weighted by the profile's slot
-// weights.
-func sampleSlots(p *Profile, k int, rng *rand.Rand) ([]int, error) {
-	nSlots := len(p.GPUSlotWeights)
-	if k > nSlots {
-		return nil, fmt.Errorf("synth: cannot involve %d GPUs with %d slots", k, nSlots)
-	}
-	weights := append([]float64(nil), p.GPUSlotWeights...)
-	slots := make([]int, 0, k)
-	for len(slots) < k {
-		var total float64
-		for _, w := range weights {
-			total += w
-		}
-		u := rng.Float64() * total
-		var cum float64
-		pick := -1
-		for i, w := range weights {
-			if w == 0 {
-				continue
-			}
-			cum += w
-			if u <= cum {
-				pick = i
-				break
-			}
-		}
-		if pick < 0 { // numeric edge: take the last positive weight
-			for i := nSlots - 1; i >= 0; i-- {
-				if weights[i] > 0 {
-					pick = i
-					break
-				}
-			}
-		}
-		slots = append(slots, pick)
-		weights[pick] = 0
-	}
-	return slots, nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -56,3 +57,45 @@ func countLines(data []byte) int {
 // utf8BOM is the byte-order mark Excel and PowerShell prepend to CSV
 // exports.
 var utf8BOM = []byte{0xEF, 0xBB, 0xBF}
+
+// writerPool recycles the buffered writers of the write paths, so a
+// process serializing many traces (the generator's per-seed outputs)
+// reuses one 64 KiB staging buffer per concurrent writer.
+var writerPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, 64<<10) },
+}
+
+// getWriter borrows a pooled buffered writer aimed at w.
+func getWriter(w io.Writer) *bufio.Writer {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+// putWriter returns a buffered writer to the pool. The caller must have
+// flushed it; re-aiming at io.Discard drops the reference to the
+// caller's writer (and any unflushed bytes from an errored write).
+func putWriter(bw *bufio.Writer) {
+	bw.Reset(io.Discard)
+	writerPool.Put(bw)
+}
+
+// linePool recycles the per-record scratch slices the append-based
+// encoders build each output line in.
+var linePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// getLine borrows a pooled scratch slice (length 0).
+func getLine() *[]byte {
+	return linePool.Get().(*[]byte)
+}
+
+// putLine returns a scratch slice to the pool, dropping ones that grew
+// past a single pathological record's worth of bytes.
+func putLine(b *[]byte) {
+	const maxPooledLine = 1 << 20
+	if cap(*b) <= maxPooledLine {
+		linePool.Put(b)
+	}
+}

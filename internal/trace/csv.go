@@ -32,42 +32,54 @@ func canonicalRecovery(d time.Duration) time.Duration {
 	return time.Duration(math.Round(float64(d)/float64(recoveryUnit))) * recoveryUnit
 }
 
-// formatRecovery renders a duration as decimal hours at the canonical
-// four-digit resolution.
-func formatRecovery(d time.Duration) string {
-	grid := math.Round(float64(d) / float64(recoveryUnit))
-	return strconv.FormatFloat(grid/1e4, 'f', 4, 64)
-}
-
 // WriteCSV writes the log to w in the canonical CSV schema, one row per
 // record plus a header row. Times are RFC 3339 in UTC; recovery is decimal
 // hours; GPU slots are semicolon-separated.
+//
+// Rows are rendered by the append-based kernel in encode.go —
+// byte-identical to the encoding/csv path it replaced (quoting rules
+// and all; the differential tests assert so) but with zero per-record
+// allocations: ints, times, and hours append straight into a pooled
+// line buffer instead of materializing a []string row.
 func WriteCSV(w io.Writer, log *failures.Log) error {
 	defer obs.StartSpan("trace/write-csv").End()
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	bw := getWriter(w)
+	defer putWriter(bw)
+	if _, err := bw.WriteString("id,system,time,recovery_hours,category,node,gpus,software_cause\n"); err != nil {
 		return fmt.Errorf("trace: writing CSV header: %w", err)
 	}
-	// One row slice for the whole log, indexed by At rather than a full
-	// Records() copy: the write path holds no per-record state beyond
-	// the field strings themselves.
-	row := make([]string, len(csvHeader))
+	line := getLine()
+	defer putLine(line)
+	b := (*line)[:0]
 	for i, n := 0, log.Len(); i < n; i++ {
 		r := log.At(i)
-		row[0] = strconv.Itoa(r.ID)
-		row[1] = r.System.String()
-		row[2] = r.Time.UTC().Format(time.RFC3339)
-		row[3] = formatRecovery(r.Recovery)
-		row[4] = string(r.Category)
-		row[5] = r.Node
-		row[6] = joinGPUs(r.GPUs)
-		row[7] = string(r.SoftwareCause)
-		if err := cw.Write(row); err != nil {
+		b = strconv.AppendInt(b[:0], int64(r.ID), 10)
+		b = append(b, ',')
+		b = appendCSVField(b, r.System.String())
+		b = append(b, ',')
+		b = r.Time.UTC().AppendFormat(b, time.RFC3339) // never needs quoting
+		b = append(b, ',')
+		b = appendRecovery(b, r.Recovery)
+		b = append(b, ',')
+		b = appendCSVField(b, string(r.Category))
+		b = append(b, ',')
+		b = appendCSVField(b, r.Node)
+		b = append(b, ',')
+		for j, g := range r.GPUs { // digits and semicolons: never quoted
+			if j > 0 {
+				b = append(b, ';')
+			}
+			b = strconv.AppendInt(b, int64(g), 10)
+		}
+		b = append(b, ',')
+		b = appendCSVField(b, string(r.SoftwareCause))
+		b = append(b, '\n')
+		if _, err := bw.Write(b); err != nil {
 			return fmt.Errorf("trace: writing record %d: %w", r.ID, err)
 		}
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+	*line = b
+	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("trace: flushing CSV: %w", err)
 	}
 	return nil
@@ -185,17 +197,6 @@ func parseRow(row []string) (failures.Failure, error) {
 		GPUs:          gpus,
 		SoftwareCause: failures.SoftwareCause(row[7]),
 	}, nil
-}
-
-func joinGPUs(gpus []int) string {
-	if len(gpus) == 0 {
-		return ""
-	}
-	parts := make([]string, len(gpus))
-	for i, g := range gpus {
-		parts[i] = strconv.Itoa(g)
-	}
-	return strings.Join(parts, ";")
 }
 
 func splitGPUs(s string) ([]int, error) {

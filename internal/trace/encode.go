@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+	"unicode"
+	"unicode/utf8"
+)
+
+// This file holds the append-based encoding kernels behind WriteNDJSON
+// and WriteCSV. Each kernel appends directly into a caller-owned byte
+// slice instead of routing field values through fmt verbs, interface
+// boxing, and per-record reflection, but is REQUIRED to stay
+// byte-identical to the encoding/json and encoding/csv output it
+// replaced — the differential tests in encoders_test.go compare both
+// paths on adversarial inputs, and the round-trip fuzz harnesses pin
+// the canonical bytes.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal exactly as
+// encoding/json renders it with HTML escaping enabled (the json.Encoder
+// default the previous writer used): quote, backslash, and control
+// characters escaped (`\b`, `\f`, `\n`, `\r`, `\t` short forms,
+// `\u00xx` otherwise),
+// `<`, `>`, `&` HTML-escaped, invalid UTF-8 bytes escaped as `\ufffd`,
+// and U+2028/U+2029 escaped for JavaScript embedding.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest 'f' form, switching to 'e' outside [1e-6, 1e21) with the
+// exponent's leading zero stripped ("e-09" -> "e-9").
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return b, fmt.Errorf("unsupported float value %v", f)
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}
+
+// appendJSONTime appends t exactly as time.Time.MarshalJSON does: a
+// quoted RFC 3339 timestamp with nanoseconds' trailing zeros trimmed,
+// rejecting years outside [0, 9999] (RFC 3339's representable range).
+func appendJSONTime(b []byte, t time.Time) ([]byte, error) {
+	if y := t.Year(); y < 0 || y >= 10000 {
+		return b, fmt.Errorf("year %d outside of range [0,9999]", t.Year())
+	}
+	b = append(b, '"')
+	b = t.AppendFormat(b, time.RFC3339Nano)
+	return append(b, '"'), nil
+}
+
+// appendNDJSONRecord appends one failure record as a single NDJSON line,
+// byte-identical to json.Encoder encoding the jsonRecord wire struct.
+func appendNDJSONRecord(b []byte, rec jsonRecord) ([]byte, error) {
+	var err error
+	b = append(b, `{"id":`...)
+	b = strconv.AppendInt(b, int64(rec.ID), 10)
+	b = append(b, `,"system":`...)
+	b = appendJSONString(b, rec.System)
+	b = append(b, `,"time":`...)
+	if b, err = appendJSONTime(b, rec.Time); err != nil {
+		return b, err
+	}
+	b = append(b, `,"recovery_hours":`...)
+	if b, err = appendJSONFloat(b, rec.RecoveryHours); err != nil {
+		return b, err
+	}
+	b = append(b, `,"category":`...)
+	b = appendJSONString(b, rec.Category)
+	if rec.Node != "" {
+		b = append(b, `,"node":`...)
+		b = appendJSONString(b, rec.Node)
+	}
+	if len(rec.GPUs) > 0 {
+		b = append(b, `,"gpus":[`...)
+		for i, g := range rec.GPUs {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(g), 10)
+		}
+		b = append(b, ']')
+	}
+	if rec.SoftwareCause != "" {
+		b = append(b, `,"software_cause":`...)
+		b = appendJSONString(b, rec.SoftwareCause)
+	}
+	return append(b, '}', '\n'), nil
+}
+
+// csvFieldNeedsQuotes mirrors encoding/csv's quoting decision for the
+// default comma separator: empty fields are bare; `\.` (the Postgres
+// end-of-data marker), embedded separators, quotes, or line breaks, and
+// a leading Unicode space all force quoting.
+func csvFieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
+	}
+	if field == `\.` {
+		return true
+	}
+	for i := 0; i < len(field); i++ {
+		switch field[i] {
+		case ',', '"', '\r', '\n':
+			return true
+		}
+	}
+	r, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r)
+}
+
+// appendCSVField appends one field exactly as encoding/csv writes it
+// with UseCRLF disabled: quoted when csvFieldNeedsQuotes says so, with
+// interior quotes doubled and CR/LF preserved verbatim.
+func appendCSVField(b []byte, field string) []byte {
+	if !csvFieldNeedsQuotes(field) {
+		return append(b, field...)
+	}
+	b = append(b, '"')
+	for i := 0; i < len(field); i++ {
+		if c := field[i]; c == '"' {
+			b = append(b, '"', '"')
+		} else {
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendRecovery renders a duration as decimal hours on the canonical
+// four-digit grid, appending instead of allocating a string.
+func appendRecovery(b []byte, d time.Duration) []byte {
+	grid := math.Round(float64(d) / float64(recoveryUnit))
+	return strconv.AppendFloat(b, grid/1e4, 'f', 4, 64)
+}
+
+// durationFromHours inverts Duration.Hours exactly: for any h that some
+// duration's Hours() produces, it returns a duration that re-serializes
+// to the same bits, making NDJSON write -> read -> write the identity.
+// The rounded product is exact for durations below 2^52 ns (~52 days);
+// beyond that the float product can land a few ns off, so a monotone
+// binary search recovers the smallest exact preimage when one exists.
+// Values with no preimage (hand-written files) keep the rounded guess,
+// which the next write canonicalizes.
+func durationFromHours(h float64) (time.Duration, error) {
+	if h < 0 || math.IsNaN(h) {
+		return 0, fmt.Errorf("invalid recovery_hours %v", h)
+	}
+	ns := h * float64(time.Hour)
+	if ns >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("recovery_hours %v overflows the duration range", h)
+	}
+	d := time.Duration(math.Round(ns))
+	if d.Hours() == h {
+		return d, nil
+	}
+	lo, hi := time.Duration(0), time.Duration(math.MaxInt64)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if mid.Hours() < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo.Hours() == h {
+		return lo, nil
+	}
+	return d, nil
+}

@@ -82,16 +82,25 @@ func FuzzReadNDJSON(f *testing.F) {
 		if err != nil {
 			return
 		}
-		var buf bytes.Buffer
-		if err := WriteNDJSON(&buf, log); err != nil {
+		var first bytes.Buffer
+		if err := WriteNDJSON(&first, log); err != nil {
 			t.Fatalf("accepted log failed to serialize: %v", err)
 		}
-		back, err := ReadNDJSON(&buf)
+		back, err := ReadNDJSON(bytes.NewReader(first.Bytes()))
 		if err != nil {
 			t.Fatalf("round trip of accepted log failed: %v", err)
 		}
 		if back.Len() != log.Len() {
 			t.Fatalf("round trip changed record count: %d -> %d", log.Len(), back.Len())
+		}
+		// WriteNDJSON emits canonical bytes and durationFromHours inverts
+		// Hours() exactly, so a second round trip must be the identity.
+		var second bytes.Buffer
+		if err := WriteNDJSON(&second, back); err != nil {
+			t.Fatalf("second serialization failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("double round trip is not byte-identical:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
 		}
 	})
 }

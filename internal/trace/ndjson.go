@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -25,18 +24,21 @@ type jsonRecord struct {
 }
 
 // WriteNDJSON writes the log as newline-delimited JSON, one record per
-// line.
+// line. Records are rendered by the append-based kernel in encode.go —
+// byte-identical to the json.Encoder path it replaced (the differential
+// tests assert so) but with zero per-record allocations: one pooled
+// staging buffer, one pooled line buffer, no reflection.
 func WriteNDJSON(w io.Writer, log *failures.Log) error {
 	defer obs.StartSpan("trace/write-ndjson").End()
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	// One wire struct reused across the log, indexed by At rather than a
-	// full Records() copy; Encode serializes the current field values, so
-	// reuse is safe.
-	var rec jsonRecord
+	bw := getWriter(w)
+	defer putWriter(bw)
+	line := getLine()
+	defer putLine(line)
+	b := (*line)[:0]
+	var err error
 	for i, n := 0, log.Len(); i < n; i++ {
 		r := log.At(i)
-		rec = jsonRecord{
+		b, err = appendNDJSONRecord(b[:0], jsonRecord{
 			ID:            r.ID,
 			System:        r.System.String(),
 			Time:          r.Time.UTC(),
@@ -45,11 +47,15 @@ func WriteNDJSON(w io.Writer, log *failures.Log) error {
 			Node:          r.Node,
 			GPUs:          r.GPUs,
 			SoftwareCause: string(r.SoftwareCause),
-		}
-		if err := enc.Encode(rec); err != nil {
+		})
+		if err != nil {
 			return fmt.Errorf("trace: encoding record %d: %w", r.ID, err)
 		}
+		if _, err := bw.Write(b); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", r.ID, err)
+		}
 	}
+	*line = b
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("trace: flushing NDJSON: %w", err)
 	}
@@ -91,8 +97,9 @@ func ReadNDJSON(r io.Reader) (*failures.Log, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: NDJSON record %d: %w", line, err)
 		}
-		if rec.RecoveryHours < 0 {
-			return nil, fmt.Errorf("trace: NDJSON record %d: negative recovery_hours %v", line, rec.RecoveryHours)
+		recovery, err := durationFromHours(rec.RecoveryHours)
+		if err != nil {
+			return nil, fmt.Errorf("trace: NDJSON record %d: %w", line, err)
 		}
 		if system == 0 {
 			system = sys
@@ -101,7 +108,7 @@ func ReadNDJSON(r io.Reader) (*failures.Log, error) {
 			ID:            rec.ID,
 			System:        sys,
 			Time:          rec.Time,
-			Recovery:      time.Duration(rec.RecoveryHours * float64(time.Hour)),
+			Recovery:      recovery,
 			Category:      category,
 			Node:          rec.Node,
 			GPUs:          rec.GPUs,

@@ -40,11 +40,13 @@ func TestParallelReportByteIdentical(t *testing.T) {
 	}
 }
 
-// TestIndexedRunMatchesPreIndexGolden is the index refactor's equivalence
-// gate: the committed golden files were generated BEFORE core.Run was
-// rewired through the memoized index (internal/index), so a byte-equal
-// render proves the indexed battery reproduces the pre-index sequential
-// output exactly — element order, float accumulation order and all.
+// TestIndexedRunMatchesPreIndexGolden is the analysis battery's
+// equivalence gate: the committed golden files pin the full rendered
+// report for seed 42, so a byte-equal render proves the memoized-index
+// battery (internal/index) reproduces the committed sequential output
+// exactly — element order, float accumulation order and all. The goldens
+// are regenerated (go test ./internal/report/ -run Golden -update)
+// whenever the generator's sampling realization intentionally changes.
 func TestIndexedRunMatchesPreIndexGolden(t *testing.T) {
 	t2, t3, err := tsubame.GenerateBoth(42)
 	if err != nil {

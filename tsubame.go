@@ -19,6 +19,7 @@
 package tsubame
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -176,6 +177,15 @@ func GenerateMany(p *Profile, seeds []int64, parallelism int) ([]*Log, error) {
 	return synth.GenerateMany(p, seeds, parallelism)
 }
 
+// GenerateEach streams GenerateMany: each log is handed to fn (with its
+// index into seeds) as soon as it is generated, then released, so peak
+// memory is one log per worker instead of one per seed. fn runs
+// concurrently from pool workers. Cancelling ctx stops launching new
+// seeds and returns the context error; tsubame-gen wires this to SIGINT.
+func GenerateEach(ctx context.Context, p *Profile, seeds []int64, parallelism int, fn func(i int, log *Log) error) error {
+	return synth.GenerateEach(ctx, p, seeds, parallelism, fn)
+}
+
 // Serialization.
 
 // WriteCSV writes a log in the canonical CSV schema.
@@ -207,7 +217,14 @@ func RunSimulation(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 // parts builds a fresh (stateful) policy per trial; nil means spares are
 // always available.
 func RunSimulationTrials(cfg SimConfig, seeds []int64, parallelism int, parts func() (PartsPolicy, error)) ([]*SimResult, error) {
-	return sim.RunTrials(cfg, seeds, parallelism, parts)
+	return sim.RunTrials(context.Background(), cfg, seeds, parallelism, parts)
+}
+
+// RunSimulationTrialsContext is RunSimulationTrials with cancellation:
+// when ctx is cancelled no new trials start, in-flight trials finish,
+// and the context error is returned. tsubame-sim wires this to SIGINT.
+func RunSimulationTrialsContext(ctx context.Context, cfg SimConfig, seeds []int64, parallelism int, parts func() (PartsPolicy, error)) ([]*SimResult, error) {
+	return sim.RunTrials(ctx, cfg, seeds, parallelism, parts)
 }
 
 // SummarizeSimulationTrials reduces per-trial simulation results to
