@@ -9,7 +9,7 @@ GO ?= go
 PERF_BENCH = ^BenchmarkPerf
 PERF_BENCHFLAGS = -bench='$(PERF_BENCH)' -benchtime=5x -count=3 -run='^$$'
 
-.PHONY: build test race bench bench-baseline bench-check bench-smoke profile-gen fuzz-smoke vet lint ci clean
+.PHONY: build test race bench bench-baseline bench-check bench-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -69,6 +69,18 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=15s -run='^$$' ./internal/trace/
 	$(GO) test -fuzz='^FuzzReadNDJSON$$' -fuzztime=15s -run='^$$' ./internal/trace/
 
+## conform: the statistical conformance gate — generate both systems
+## across the canonical 32-seed set and check every published statistic
+## of the paper (docs/VALIDATION.md). Fails on calibration drift.
+conform:
+	$(GO) run ./cmd/tsubame-conform -system both -v -out CONFORM_report.json
+
+## cover: the tier-1 suite with a coverage profile; prints the summary
+## and leaves COVER_profile.out for `go tool cover -html`.
+cover:
+	$(GO) test -coverprofile=COVER_profile.out -covermode=atomic ./...
+	$(GO) tool cover -func=COVER_profile.out | tail -1
+
 ## lint: golangci-lint if installed (non-blocking in CI; optional locally)
 lint:
 	@command -v golangci-lint >/dev/null 2>&1 \
@@ -76,7 +88,7 @@ lint:
 		|| echo "golangci-lint not installed; skipping (CI runs it non-blocking)"
 
 ## ci: every blocking CI step, in CI's order
-ci: build vet test race bench-smoke fuzz-smoke
+ci: build vet test race conform bench-smoke fuzz-smoke
 
 clean:
-	rm -f BENCH_ci.json BENCH_perf.txt PROFILE_gen_cpu.out PROFILE_gen_mem.out repro.test
+	rm -f BENCH_ci.json BENCH_perf.txt PROFILE_gen_cpu.out PROFILE_gen_mem.out CONFORM_report.json COVER_profile.out repro.test

@@ -1,0 +1,49 @@
+package conform
+
+import "math"
+
+// allowedFailures sizes the seed-failure budget of one KindTest check: the
+// smallest k such that a conforming generator — whose per-seed test fails
+// independently with probability at most alpha — exceeds k failures among
+// n seeds with probability at most budget. The caller splits the family
+// budget Bonferroni-style across the test checks of the spec, so the
+// whole battery's false-alarm probability stays below Options.Budget.
+func allowedFailures(n int, alpha, budget float64) int {
+	for k := 0; k < n; k++ {
+		if binomTailAbove(n, k, alpha) <= budget {
+			return k
+		}
+	}
+	return n
+}
+
+// binomTailAbove returns P(X > k) for X ~ Binomial(n, p), computed from
+// the exact CDF in log space to stay stable for small p and large n.
+func binomTailAbove(n, k int, p float64) float64 {
+	if k >= n {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	var cdf float64
+	logP, log1P := math.Log(p), math.Log1p(-p)
+	for i := 0; i <= k; i++ {
+		cdf += math.Exp(lchoose(n, i) + float64(i)*logP + float64(n-i)*log1P)
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+// lchoose returns log C(n, k).
+func lchoose(n, k int) float64 {
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}

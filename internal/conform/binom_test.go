@@ -1,0 +1,105 @@
+package conform
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAllowedFailures(t *testing.T) {
+	cases := []struct {
+		n      int
+		alpha  float64
+		budget float64
+		want   int
+	}{
+		// For Binomial(32, 0.01): P(X > 2) = 4.0e-3, P(X > 3) = 2.8e-4,
+		// P(X > 4) = 1.1e-5.
+		{32, 0.01, 5e-4, 3},
+		{32, 0.01, 1e-4, 4},
+		// alpha = 0 means a conforming generator never fails: budget 0 allowed.
+		{32, 0, 1e-3, 0},
+		// Degenerate budget forces the whole seed set.
+		{8, 0.99, 1e-12, 8},
+	}
+	for _, c := range cases {
+		if got := allowedFailures(c.n, c.alpha, c.budget); got != c.want {
+			t.Errorf("allowedFailures(%d, %v, %v) = %d, want %d", c.n, c.alpha, c.budget, got, c.want)
+		}
+	}
+}
+
+func TestBinomTailAbove(t *testing.T) {
+	// Binomial(4, 0.5): P(X > 1) = 11/16.
+	if got, want := binomTailAbove(4, 1, 0.5), 11.0/16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("binomTailAbove(4, 1, 0.5) = %v, want %v", got, want)
+	}
+	if got := binomTailAbove(10, 10, 0.3); got != 0 {
+		t.Errorf("tail above n = %v, want 0", got)
+	}
+	if got := binomTailAbove(10, 3, 0); got != 0 {
+		t.Errorf("tail with p=0 = %v, want 0", got)
+	}
+}
+
+// TestInclusionProb checks the exact without-replacement slot enumeration
+// against hand-computed values.
+func TestInclusionProb(t *testing.T) {
+	w := []float64{1, 1, 1}
+	for j := 0; j < 3; j++ {
+		if got := inclusionProb(w, 1, j); math.Abs(got-1.0/3) > 1e-12 {
+			t.Errorf("uniform k=1 slot %d = %v, want 1/3", j, got)
+		}
+		if got := inclusionProb(w, 2, j); math.Abs(got-2.0/3) > 1e-12 {
+			t.Errorf("uniform k=2 slot %d = %v, want 2/3", j, got)
+		}
+		if got := inclusionProb(w, 3, j); math.Abs(got-1) > 1e-12 {
+			t.Errorf("uniform k=3 slot %d = %v, want 1", j, got)
+		}
+	}
+	// Weighted two-slot draw from weights (2, 1, 1): slot 0 enters first
+	// with p=1/2, or second after slot 1 or 2; total 2/2*... computed by
+	// enumeration: P(0 in draw) = 1/2 + 1/4*(2/3) + 1/4*(2/3) = 5/6.
+	if got := inclusionProb([]float64{2, 1, 1}, 2, 0); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("weighted k=2 slot 0 = %v, want 5/6", got)
+	}
+	// Inclusion probabilities of a k-draw always sum to k.
+	w = []float64{1.5, 0.75, 0.75, 1.5}
+	for k := 1; k <= 4; k++ {
+		var sum float64
+		for j := range w {
+			sum += inclusionProb(w, k, j)
+		}
+		if math.Abs(sum-float64(k)) > 1e-9 {
+			t.Errorf("k=%d inclusion probabilities sum to %v, want %d", k, sum, k)
+		}
+	}
+}
+
+// TestMonthMassShares checks the independent calendar-mass computation on
+// a window where the answer is known in closed form.
+func TestMonthMassShares(t *testing.T) {
+	// Jan + Feb 2013 with weights 1 everywhere: mass proportional to hours.
+	var flat [12]float64
+	for i := range flat {
+		flat[i] = 1
+	}
+	shares := monthMassShares(date(2013, time.January, 1), date(2013, time.March, 1), flat)
+	if got, want := shares[0], 31.0/59; math.Abs(got-want) > 1e-12 {
+		t.Errorf("January share = %v, want %v", got, want)
+	}
+	if got, want := shares[1], 28.0/59; math.Abs(got-want) > 1e-12 {
+		t.Errorf("February share = %v, want %v", got, want)
+	}
+	for m := 2; m < 12; m++ {
+		if shares[m] != 0 {
+			t.Errorf("month %d share = %v, want 0", m+1, shares[m])
+		}
+	}
+	// Doubling February's weight shifts mass accordingly.
+	flat[1] = 2
+	shares = monthMassShares(date(2013, time.January, 1), date(2013, time.March, 1), flat)
+	if got, want := shares[1], 56.0/87; math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted February share = %v, want %v", got, want)
+	}
+}

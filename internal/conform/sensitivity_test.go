@@ -1,0 +1,163 @@
+package conform
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/failures"
+	"repro/internal/synth"
+)
+
+// cloneProfile deep-copies a generator profile so mutations cannot leak
+// between subtests.
+func cloneProfile(p *synth.Profile) *synth.Profile {
+	c := *p
+	c.Categories = append([]synth.CategoryCount(nil), p.Categories...)
+	c.SoftwareCauses = append([]synth.CauseCount(nil), p.SoftwareCauses...)
+	c.GPUSlotWeights = append([]float64(nil), p.GPUSlotWeights...)
+	c.GPUInvolvementPMF = append([]float64(nil), p.GPUInvolvementPMF...)
+	c.NodeCountPMF = make(map[int]float64, len(p.NodeCountPMF))
+	for k, v := range p.NodeCountPMF {
+		c.NodeCountPMF[k] = v
+	}
+	return &c
+}
+
+type mutation struct {
+	name   string
+	mutate func(p *synth.Profile)
+	// wantCheck, when set, names a check that must be among the failures
+	// when the battery runs statistically (i.e. the mutation is caught by
+	// generated data, not only by the static calibration pins).
+	wantCheck string
+}
+
+func mutations(sys failures.System) []mutation {
+	muts := []mutation{
+		{name: "tbf-shape+20%", mutate: func(p *synth.Profile) { p.TBFShape *= 1.2 },
+			wantCheck: "pooled-tbf-shape"},
+		{name: "tbf-shape-20%", mutate: func(p *synth.Profile) { p.TBFShape *= 0.8 },
+			wantCheck: "pooled-tbf-shape"},
+		// Mutates the GPU category: shrinking Tsubame-3's Software count
+		// instead would trip the causes-sum invariant in Validate before
+		// any data is generated.
+		{name: "headline-count-20%", mutate: func(p *synth.Profile) {
+			for i := range p.Categories {
+				if p.Categories[i].Category == failures.CatGPU {
+					p.Categories[i].Count = p.Categories[i].Count * 4 / 5
+				}
+			}
+		}, wantCheck: "log-count"},
+		{name: "headline-ttr-mean+20%", mutate: func(p *synth.Profile) { p.Categories[0].TTR.MeanHours *= 1.2 }},
+		{name: "headline-ttr-median+20%", mutate: func(p *synth.Profile) { p.Categories[0].TTR.MedianHours *= 1.2 }},
+		// A lowered cap keeps every sample under the anchored ceiling, so
+		// only the static pin catches it — no wantCheck.
+		{name: "ttr-cap-20%", mutate: func(p *synth.Profile) { p.Categories[0].TTR.CapHours *= 0.8 }},
+		{name: "slot-weight+20%", mutate: func(p *synth.Profile) { p.GPUSlotWeights[1] *= 1.2 },
+			wantCheck: "pooled-slot-chisq"},
+		{name: "involvement-pmf+20%", mutate: func(p *synth.Profile) { p.GPUInvolvementPMF[0] *= 1.2 }},
+		{name: "node-pmf-20%", mutate: func(p *synth.Profile) { p.NodeCountPMF[1] *= 0.8 }},
+		{name: "cluster-fraction-20%", mutate: func(p *synth.Profile) { p.ClusterFraction *= 0.8 }},
+		{name: "monthly-weight+20%", mutate: func(p *synth.Profile) { p.MonthlyCountWeights[3] *= 1.2 }},
+		{name: "ttr-multiplier+20%", mutate: func(p *synth.Profile) { p.MonthlyTTRMultipliers[6] *= 1.2 }},
+		{name: "window+20%", mutate: func(p *synth.Profile) {
+			p.End = p.End.Add(p.End.Sub(p.Start) / 5)
+		}, wantCheck: "log-window"},
+		{name: "fleet-20%", mutate: func(p *synth.Profile) { p.NodeCount = p.NodeCount * 4 / 5 }},
+	}
+	if sys == failures.Tsubame3 {
+		muts = append(muts,
+			mutation{name: "sw-on-multi-20%", mutate: func(p *synth.Profile) {
+				p.SoftwareOnMultiNodes = p.SoftwareOnMultiNodes * 4 / 5
+			}},
+			mutation{name: "cause-count-20%", mutate: func(p *synth.Profile) {
+				p.SoftwareCauses[0].Count = p.SoftwareCauses[0].Count * 4 / 5
+				p.SoftwareCauses[1].Count += p.SoftwareCauses[0].Count / 4
+			}},
+		)
+	}
+	return muts
+}
+
+// gateFails runs the battery on a mutated profile and reports whether the
+// conformance gate rejects it — either by refusing the profile outright
+// (Validate) or by failing at least one check.
+func gateFails(t *testing.T, p *synth.Profile, opts Options) (*Report, bool) {
+	t.Helper()
+	rep, err := Evaluate(context.Background(), p, opts)
+	if err != nil {
+		t.Logf("gate rejected profile outright: %v", err)
+		return nil, true
+	}
+	return rep, !rep.Pass
+}
+
+// TestSensitivityEveryConstant is the drift-gate acceptance criterion:
+// flipping any single calibration constant by 20% must fail conformance.
+// The static calibration pins make this deterministic, so a small seed
+// set suffices.
+func TestSensitivityEveryConstant(t *testing.T) {
+	for _, sys := range []failures.System{failures.Tsubame2, failures.Tsubame3} {
+		base, err := synth.ProfileFor(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mutations(sys) {
+			t.Run(sys.String()+"/"+m.name, func(t *testing.T) {
+				p := cloneProfile(base)
+				m.mutate(p)
+				rep, failed := gateFails(t, p, Options{Seeds: DefaultSeeds(2)})
+				if !failed {
+					t.Fatalf("gate passed a profile with mutation %s", m.name)
+				}
+				if rep != nil {
+					t.Logf("%s", rep.Summary())
+				}
+			})
+		}
+	}
+}
+
+// TestSensitivityStatisticalPower verifies that the decisive physics
+// mutations are caught by the generated data itself — a named non-static
+// check fails over the full seed set — so the battery does not lean on
+// the calibration pins alone.
+func TestSensitivityStatisticalPower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the full seed set")
+	}
+	for _, sys := range []failures.System{failures.Tsubame2, failures.Tsubame3} {
+		base, err := synth.ProfileFor(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mutations(sys) {
+			if m.wantCheck == "" {
+				continue
+			}
+			t.Run(sys.String()+"/"+m.name, func(t *testing.T) {
+				p := cloneProfile(base)
+				m.mutate(p)
+				rep, failed := gateFails(t, p, Options{})
+				if !failed {
+					t.Fatalf("gate passed a profile with mutation %s", m.name)
+				}
+				if rep == nil {
+					t.Fatalf("mutation %s was rejected by Validate, expected a statistical failure on %s", m.name, m.wantCheck)
+				}
+				var names []string
+				found := false
+				for _, c := range rep.Failed() {
+					names = append(names, c.Name)
+					if c.Name == m.wantCheck {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("mutation %s: check %s did not fail (failed: %s)", m.name, m.wantCheck, strings.Join(names, ", "))
+				}
+			})
+		}
+	}
+}

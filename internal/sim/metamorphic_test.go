@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/failures"
+	"repro/internal/testutil"
+)
+
+// TestProcessesFromLogInvariantUnderPermutation checks that fitting
+// failure processes from a log does not depend on record presentation
+// order.
+func TestProcessesFromLogInvariantUnderPermutation(t *testing.T) {
+	for _, sys := range []failures.System{failures.Tsubame2, failures.Tsubame3} {
+		log := testutil.MustGenerate(t, sys, 13)
+		base, err := ProcessesFromLog(log, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		permuted, err := ProcessesFromLog(testutil.Permuted(t, log, 19), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.RequireDeepEqual(t, base, permuted, "fitted processes after permutation")
+	}
+}
+
+// TestRunDeterministicFromFittedProcesses checks the whole fit-then-
+// simulate pipeline is pure in (log, config): two runs from independently
+// fitted copies of the same log must agree event for event.
+func TestRunDeterministicFromFittedProcesses(t *testing.T) {
+	log := testutil.MustGenerate(t, failures.Tsubame2, 13)
+	run := func(l *failures.Log) *Result {
+		procs, err := ProcessesFromLog(l, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Nodes:        64,
+			NodesPerRack: 32,
+			GPUsPerNode:  3,
+			HorizonHours: 2000,
+			Processes:    procs,
+			Seed:         99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	testutil.RequireDeepEqual(t, run(log), run(testutil.Permuted(t, log, 23)), "simulation from permuted log")
+}

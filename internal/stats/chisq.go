@@ -9,6 +9,11 @@ import (
 // counts against expected counts, plus the asymptotic p-value with
 // len(observed)-1 degrees of freedom. The seasonal analysis uses it to test
 // whether monthly failure counts (Figure 12) are uniform.
+//
+// Fewer than two cells returns ErrEmpty, a length mismatch ErrMismatch,
+// and an expected cell that is NaN, infinite, or not strictly positive an
+// explicit error — NaN previously slipped past the positivity check
+// (NaN <= 0 is false) and silently poisoned the statistic.
 func ChiSquare(observed []int, expected []float64) (stat, p float64, err error) {
 	if len(observed) != len(expected) {
 		return 0, 0, ErrMismatch
@@ -17,8 +22,11 @@ func ChiSquare(observed []int, expected []float64) (stat, p float64, err error) 
 		return 0, 0, ErrEmpty
 	}
 	for i, e := range expected {
-		if e <= 0 {
-			return 0, 0, fmt.Errorf("stats: expected count %d is non-positive (%v)", i, e)
+		if math.IsNaN(e) {
+			return 0, 0, fmt.Errorf("stats: expected count %d is NaN: %w", i, ErrNaN)
+		}
+		if !(e > 0) || math.IsInf(e, 1) {
+			return 0, 0, fmt.Errorf("stats: expected count %d is not a positive finite value (%v)", i, e)
 		}
 		d := float64(observed[i]) - e
 		stat += d * d / e
@@ -48,7 +56,7 @@ func ChiSquareUniform(observed []int) (stat, p float64, err error) {
 
 // ChiSquareSurvival returns P(X > x) for a chi-square random variable with
 // df degrees of freedom, i.e. the upper regularized incomplete gamma
-// Q(df/2, x/2).
+// Q(df/2, x/2). NaN inputs propagate to a NaN survival probability.
 func ChiSquareSurvival(x, df float64) float64 {
 	if x <= 0 {
 		return 1

@@ -22,6 +22,13 @@ var ErrEmpty = errors.New("stats: empty sample")
 // different lengths.
 var ErrMismatch = errors.New("stats: sample length mismatch")
 
+// ErrNaN is returned by hypothesis tests whose result would be meaningless
+// on samples containing NaN. Descriptive statistics propagate NaN through
+// their return value instead (the PR-2 NaN-propagation policy); tests that
+// culminate in a pass/fail verdict fail loudly rather than emitting a NaN
+// p-value that every comparison silently treats as "not significant".
+var ErrNaN = errors.New("stats: sample contains NaN")
+
 // Sum returns the sum of xs. The sum of an empty sample is 0.
 func Sum(xs []float64) float64 {
 	// Kahan summation keeps the long monthly aggregations stable.

@@ -9,9 +9,17 @@ import (
 // D = sup_x |F_n(x) - F(x)| between the empirical CDF of xs and the
 // hypothesized CDF cdf. It is used by the distribution-fitting code to
 // choose between exponential, Weibull, and log-normal TBF/TTR models.
+//
+// Edge cases: an empty sample returns ErrEmpty and a sample containing
+// NaN returns ErrNaN (a NaN has no place in an empirical CDF). An
+// all-ties sample is well-defined: the empirical CDF is a single step. A
+// cdf that itself returns NaN propagates NaN into the statistic.
 func KSOneSample(xs []float64, cdf func(float64) float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
+	}
+	if hasNaN(xs) {
+		return math.NaN(), ErrNaN
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -32,9 +40,16 @@ func KSOneSample(xs []float64, cdf func(float64) float64) (float64, error) {
 // xs and ys. The paper's observation that the TTR distribution shape is
 // "very similar" across Tsubame-2 and Tsubame-3 (Figure 9) is quantified
 // with this statistic in our reproduction.
+//
+// An empty sample on either side returns ErrEmpty; NaN on either side
+// returns ErrNaN. All-ties samples are well-defined (D is 0 when the two
+// constants agree, 1 when they differ).
 func KSTwoSample(xs, ys []float64) (float64, error) {
 	if len(xs) == 0 || len(ys) == 0 {
 		return 0, ErrEmpty
+	}
+	if hasNaN(xs) || hasNaN(ys) {
+		return math.NaN(), ErrNaN
 	}
 	a := append([]float64(nil), xs...)
 	b := append([]float64(nil), ys...)
@@ -56,12 +71,40 @@ func KSTwoSample(xs, ys []float64) (float64, error) {
 	return d, nil
 }
 
+// KSTest runs the one-sample Kolmogorov-Smirnov test of xs against the
+// hypothesized CDF: the statistic of KSOneSample plus its asymptotic
+// p-value. It is the entry point the conformance harness uses to compare
+// synthetic TBF/TTR samples against the calibrated families; errors
+// follow KSOneSample (ErrEmpty, ErrNaN).
+func KSTest(xs []float64, cdf func(float64) float64) (d, p float64, err error) {
+	d, err = KSOneSample(xs, cdf)
+	if err != nil {
+		return d, math.NaN(), err
+	}
+	return d, KSPValue(d, float64(len(xs))), nil
+}
+
+// KSTestTwoSample runs the two-sample Kolmogorov-Smirnov test: the
+// statistic of KSTwoSample plus its asymptotic p-value at the effective
+// sample size na*nb/(na+nb).
+func KSTestTwoSample(xs, ys []float64) (d, p float64, err error) {
+	d, err = KSTwoSample(xs, ys)
+	if err != nil {
+		return d, math.NaN(), err
+	}
+	na, nb := float64(len(xs)), float64(len(ys))
+	return d, KSPValue(d, na*nb/(na+nb)), nil
+}
+
 // KSPValue returns the asymptotic p-value for a (one- or two-sample) KS
 // statistic d with effective sample size n, using the Kolmogorov limiting
 // distribution Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)
 // with the Stephens small-sample correction. For two samples use
-// n = na*nb/(na+nb).
+// n = na*nb/(na+nb). A NaN statistic or size yields a NaN p-value.
 func KSPValue(d float64, n float64) float64 {
+	if math.IsNaN(d) || math.IsNaN(n) {
+		return math.NaN()
+	}
 	if n <= 0 || d <= 0 {
 		return 1
 	}

@@ -1,0 +1,89 @@
+package synth_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/synth"
+	"repro/internal/testutil"
+)
+
+// TestMergeSplitConsistency checks the metamorphic identity
+// merge(split(log)) == log at several cut points, including the window
+// edges, for both calibrated generators.
+func TestMergeSplitConsistency(t *testing.T) {
+	for _, sys := range []failures.System{failures.Tsubame2, failures.Tsubame3} {
+		log := testutil.MustGenerate(t, sys, 3)
+		start, end, ok := log.Window()
+		if !ok {
+			t.Fatal("empty log")
+		}
+		cuts := []time.Time{
+			start,
+			start.Add(end.Sub(start) / 3),
+			start.Add(end.Sub(start) / 2),
+			end,
+			end.Add(time.Hour),
+		}
+		for _, cut := range cuts {
+			before, after := log.SplitAt(cut)
+			merged, err := before.Merge(after)
+			if err != nil {
+				t.Fatalf("merge after SplitAt(%v): %v", cut, err)
+			}
+			testutil.RequireEqualLogs(t, log, merged, "merge(SplitAt)")
+		}
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			head, tail := log.SplitFraction(frac)
+			if head.Len()+tail.Len() != log.Len() {
+				t.Fatalf("SplitFraction(%v) loses records: %d + %d != %d", frac, head.Len(), tail.Len(), log.Len())
+			}
+			merged, err := head.Merge(tail)
+			if err != nil {
+				t.Fatalf("merge after SplitFraction(%v): %v", frac, err)
+			}
+			testutil.RequireEqualLogs(t, log, merged, "merge(SplitFraction)")
+		}
+	}
+}
+
+// TestWarpInverseRoundTrip pins the contract the conformance harness
+// depends on: Position is the inverse of Time over the whole window, up
+// to the nanosecond truncation of time.Duration.
+func TestWarpInverseRoundTrip(t *testing.T) {
+	for _, sys := range []failures.System{failures.Tsubame2, failures.Tsubame3} {
+		p, err := synth.ProfileFor(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := synth.NewWarp(p.Start, p.End, p.MonthlyCountWeights)
+		for i := 0; i <= 1000; i++ {
+			u := float64(i) / 1000
+			tt := w.Time(u)
+			if tt.Before(p.Start) || tt.After(p.End) {
+				t.Fatalf("Time(%v) = %v escapes the window", u, tt)
+			}
+			back := w.Position(tt)
+			if math.Abs(back-u) > 1e-9 {
+				t.Fatalf("Position(Time(%v)) = %v, want %v", u, back, u)
+			}
+		}
+		// Clamping outside the window.
+		if got := w.Position(p.Start.Add(-time.Hour)); got != 0 {
+			t.Fatalf("Position before start = %v, want 0", got)
+		}
+		if got := w.Position(p.End.Add(time.Hour)); got != 1 {
+			t.Fatalf("Position after end = %v, want 1", got)
+		}
+	}
+}
+
+// TestGenerateInvariantUnderRecordPermutation checks the generated log
+// is already in canonical order: rebuilding it from shuffled records is
+// an identity.
+func TestGenerateInvariantUnderRecordPermutation(t *testing.T) {
+	log := testutil.MustGenerate(t, failures.Tsubame2, 29)
+	testutil.RequireEqualLogs(t, log, testutil.Permuted(t, log, 31), "canonical order after shuffle")
+}

@@ -48,6 +48,51 @@ func newSeasonalWarp(start, end time.Time, weights [12]float64) *seasonalWarp {
 	return w
 }
 
+// Position maps a time in [start, end] back to its normalized intensity
+// position: the inverse of At up to the nanosecond truncation of
+// time.Duration. Times at or before start map to 0, at or after end to 1.
+func (w *seasonalWarp) Position(t time.Time) float64 {
+	if !t.After(w.start) {
+		return 0
+	}
+	if !t.Before(w.end) {
+		return 1
+	}
+	prevCum := 0.0
+	for _, seg := range w.segments {
+		segEnd := seg.start.Add(time.Duration(seg.hours * float64(time.Hour)))
+		if t.Before(segEnd) {
+			frac := t.Sub(seg.start).Hours() / seg.hours
+			return prevCum + frac*(seg.cumMass-prevCum)
+		}
+		prevCum = seg.cumMass
+	}
+	return 1
+}
+
+// Warp is the exported handle on a profile's seasonal intensity warp: the
+// monotone map from normalized arrival-mass positions u in [0, 1] to
+// calendar times that realizes Figure 12's monthly count variation. The
+// conformance harness (internal/conform) inverts it to de-seasonalize
+// inter-arrival gaps before testing them against the calibrated Weibull
+// renewal family.
+type Warp struct{ inner *seasonalWarp }
+
+// NewWarp builds the warp the generator uses for the window and monthly
+// count weights. The zero weight vector degenerates to a uniform warp,
+// matching generateTimes.
+func NewWarp(start, end time.Time, weights [12]float64) *Warp {
+	return &Warp{inner: newSeasonalWarp(start, end, weights)}
+}
+
+// Time maps a normalized position u in [0, 1] to a calendar time, exactly
+// as the generator places the u-th quantile of the arrival mass.
+func (w *Warp) Time(u float64) time.Time { return w.inner.At(u) }
+
+// Position is the inverse of Time: the normalized arrival-mass position of
+// a calendar time, clamped to [0, 1] outside the window.
+func (w *Warp) Position(t time.Time) float64 { return w.inner.Position(t) }
+
 // At maps u in [0, 1] to a time in [start, end].
 func (w *seasonalWarp) At(u float64) time.Time {
 	if u <= 0 {

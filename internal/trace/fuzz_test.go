@@ -39,6 +39,15 @@ func FuzzReadCSV(f *testing.F) {
 		if err != nil {
 			return // rejects are fine; panics are not
 		}
+		// Whatever the parser accepts must land on the 360 ms recovery
+		// grid: recovery_hours is defined at that resolution, and an
+		// off-grid duration would break the canonical-bytes guarantee
+		// checked below.
+		for _, rec := range log.Records() {
+			if rec.Recovery%recoveryUnit != 0 {
+				t.Fatalf("record %d recovery %v is off the %v grid", rec.ID, rec.Recovery, recoveryUnit)
+			}
+		}
 		var first bytes.Buffer
 		if err := WriteCSV(&first, log); err != nil {
 			t.Fatalf("accepted log failed to serialize: %v", err)

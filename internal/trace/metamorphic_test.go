@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/failures"
+	"repro/internal/testutil"
+)
+
+// csvCanonical runs a log once through the CSV encoder and back: CSV is
+// deliberately lossy — recoveries land on the 360 ms ticket grid — so the
+// metamorphic identities below hold on the quantized form, not the raw
+// generator output.
+func csvCanonical(t *testing.T, log *failures.Log) *failures.Log {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestNDJSONRoundTripIsLossless checks decode(encode(log)) == log on full
+// calibrated logs: NDJSON is the lossless wire format, down to nanosecond
+// recoveries.
+func TestNDJSONRoundTripIsLossless(t *testing.T) {
+	for _, sys := range []failures.System{failures.Tsubame2, failures.Tsubame3} {
+		log := testutil.MustGenerate(t, sys, 9)
+		var buf bytes.Buffer
+		if err := WriteNDJSON(&buf, log); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := ReadNDJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.RequireEqualLogs(t, log, decoded, "NDJSON round trip")
+	}
+}
+
+// TestCSVRoundTripIsIdempotent checks that the CSV quantization is a
+// projection: after one encode/decode pass the log is a fixed point of
+// the round trip, and every recovery sits on the 360 ms grid.
+func TestCSVRoundTripIsIdempotent(t *testing.T) {
+	for _, sys := range []failures.System{failures.Tsubame2, failures.Tsubame3} {
+		quantized := csvCanonical(t, testutil.MustGenerate(t, sys, 9))
+		for _, r := range quantized.Records() {
+			if r.Recovery%recoveryUnit != 0 {
+				t.Fatalf("record %d recovery %v is off the %v grid", r.ID, r.Recovery, recoveryUnit)
+			}
+		}
+		testutil.RequireEqualLogs(t, quantized, csvCanonical(t, quantized), "second CSV round trip")
+	}
+}
+
+// TestEncodersAgreeAcrossFormats checks the two wire formats describe the
+// same log once both are on the CSV grid, and that re-encoding is
+// byte-stable (the canonical-form guarantee diffs and goldens rely on).
+func TestEncodersAgreeAcrossFormats(t *testing.T) {
+	log := csvCanonical(t, testutil.MustGenerate(t, failures.Tsubame2, 21))
+
+	var csv, ndjson bytes.Buffer
+	if err := WriteCSV(&csv, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&ndjson, log); err != nil {
+		t.Fatal(err)
+	}
+	csvBytes := append([]byte(nil), csv.Bytes()...)
+
+	fromCSV, err := ReadCSV(&csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromNDJSON, err := ReadNDJSON(&ndjson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.RequireEqualLogs(t, fromCSV, fromNDJSON, "cross-format agreement")
+
+	var again bytes.Buffer
+	if err := WriteCSV(&again, fromCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBytes, again.Bytes()) {
+		t.Fatal("CSV encoding of a decoded log is not byte-stable")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/dist"
@@ -93,6 +94,13 @@ type (
 	// sweep.
 	CostPrices = cost.Prices
 	CostPoint  = cost.Point
+	// ConformanceReport is the result of a statistical conformance
+	// evaluation of a generator profile against the paper's published
+	// numbers (see docs/VALIDATION.md).
+	ConformanceReport = conform.Report
+	// ConformanceOptions tunes the conformance seed set and significance
+	// levels; the zero value is the canonical CI configuration.
+	ConformanceOptions = conform.Options
 )
 
 // The two studied systems.
@@ -368,3 +376,16 @@ func DiffPeriods(before, after *Log) (*PeriodDiff, error) {
 func TTRSignificanceByCategory(log *Log, minCount int) ([]core.TTRSignificance, error) {
 	return core.TTRSignificanceByCategory(log, minCount)
 }
+
+// EvaluateConformance runs the statistical conformance battery of the
+// profile's system against it: every check is anchored to a published
+// number of the paper, aggregated over the option's seed set. A passing
+// report certifies that traces generated from the profile reproduce the
+// paper's statistics (docs/VALIDATION.md documents each check).
+func EvaluateConformance(ctx context.Context, p *Profile, opts ConformanceOptions) (*ConformanceReport, error) {
+	return conform.Evaluate(ctx, p, opts)
+}
+
+// ConformanceSeeds returns the canonical conformance seed set 1..n; the
+// CI gate uses n = 32.
+func ConformanceSeeds(n int) []int64 { return conform.DefaultSeeds(n) }
