@@ -2,6 +2,13 @@
 # `ci` target reproduces every blocking CI step locally, so a green
 # `make ci` predicts a green PR.
 
+# Recipes pipe `go test` through `tee` to keep artifacts; without
+# pipefail the pipeline's exit status is tee's, and a panicking
+# benchmark run would exit 0. Bash with pipefail makes every pipe
+# stage's failure fatal (bench-smoke-selftest proves it stays fixed).
+SHELL := /bin/bash
+.SHELLFLAGS := -eu -o pipefail -c
+
 GO ?= go
 
 # The tier-1 perf benchmark set guarded by the regression gate
@@ -9,7 +16,13 @@ GO ?= go
 PERF_BENCH = ^BenchmarkPerf
 PERF_BENCHFLAGS = -bench='$(PERF_BENCH)' -benchtime=5x -count=3 -run='^$$'
 
-.PHONY: build test race bench bench-baseline bench-check bench-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
+# bench-smoke knobs: the selftest narrows the package set to the
+# build-tag-gated failure injection and redirects the artifact.
+BENCH_PKGS ?= ./...
+BENCH_OUT ?= BENCH_ci.json
+BENCH_TAGS ?=
+
+.PHONY: build test race bench bench-baseline bench-check bench-smoke bench-smoke-selftest sweep-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -49,10 +62,28 @@ bench-check:
 	$(GO) run ./cmd/tsubame-benchcheck check -baseline BENCH_baseline.json -current BENCH_perf.txt -threshold 15
 
 ## bench-smoke: every benchmark exactly once, machine-readable; a
-## panicking or hanging benchmark fails this target. Produces
-## BENCH_ci.json for the CI artifact.
+## panicking or hanging benchmark fails this target (pipefail above —
+## tee must not mask go test's exit). Produces BENCH_ci.json for the CI
+## artifact.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' -json ./... | tee BENCH_ci.json
+	$(GO) test $(BENCH_TAGS) -bench=. -benchtime=1x -run='^$$' -json $(BENCH_PKGS) | tee $(BENCH_OUT)
+
+## bench-smoke-selftest: prove the pipe-masking fix — inject a panicking
+## benchmark (build tag benchfailinject) and require bench-smoke to
+## fail. Guards the "panicking benchmark fails the PR" CI promise.
+bench-smoke-selftest:
+	@if $(MAKE) bench-smoke BENCH_TAGS='-tags benchfailinject' BENCH_PKGS=./internal/sim/ BENCH_OUT=/dev/null >/dev/null 2>&1; then \
+		echo "bench-smoke-selftest: FAIL — injected benchmark panic was swallowed (pipe masking is back)"; \
+		exit 1; \
+	else \
+		echo "bench-smoke-selftest: ok — injected benchmark failure fails bench-smoke"; \
+	fi
+
+## sweep-smoke: kill-and-resume determinism of tsubame-sweep — run a
+## tiny grid to completion, rerun it with a SIGKILL mid-flight, resume,
+## and require the merged report to be byte-identical.
+sweep-smoke:
+	./scripts/sweep_smoke.sh
 
 ## profile-gen: CPU and allocation pprof profiles of the end-to-end 100k
 ## generate+encode pipeline (BenchmarkPerfGenerateEncode100k). Inspect
@@ -81,14 +112,15 @@ cover:
 	$(GO) test -coverprofile=COVER_profile.out -covermode=atomic ./...
 	$(GO) tool cover -func=COVER_profile.out | tail -1
 
-## lint: golangci-lint if installed (non-blocking in CI; optional locally)
+## lint: golangci-lint if installed (blocking in CI; optional locally)
 lint:
 	@command -v golangci-lint >/dev/null 2>&1 \
 		&& golangci-lint run ./... \
-		|| echo "golangci-lint not installed; skipping (CI runs it non-blocking)"
+		|| echo "golangci-lint not installed; skipping (CI runs it as a blocking job)"
 
 ## ci: every blocking CI step, in CI's order
-ci: build vet test race conform bench-smoke fuzz-smoke
+ci: build vet test race conform bench-smoke bench-smoke-selftest sweep-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_ci.json BENCH_perf.txt PROFILE_gen_cpu.out PROFILE_gen_mem.out CONFORM_report.json COVER_profile.out repro.test
+	rm -rf SWEEP_smoke.d

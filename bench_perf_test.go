@@ -15,6 +15,8 @@ package tsubame_test
 import (
 	"bytes"
 	"context"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -24,6 +26,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/synth"
 	"repro/internal/trace"
 )
@@ -297,6 +300,90 @@ func BenchmarkPerfSimTrials(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.RunTrials(context.Background(), cfg, benchSeeds, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// fleetProcs lazily fits the failure processes driving the fleet-scale
+// simulation benchmarks from the shared 100k-record log: ~2.6 arrivals
+// per hour across categories, the event rate of a 100k-node fleet.
+var fleetProcs struct {
+	once  sync.Once
+	procs []sim.FailureProcess
+	err   error
+}
+
+func fleetProcesses(b *testing.B) []sim.FailureProcess {
+	b.Helper()
+	log := perfLog(b)
+	fleetProcs.once.Do(func() {
+		fleetProcs.procs, fleetProcs.err = sim.ProcessesFromLog(log, 10)
+	})
+	if fleetProcs.err != nil {
+		b.Fatal(fleetProcs.err)
+	}
+	return fleetProcs.procs
+}
+
+// BenchmarkPerfFleetSim100k is the fleet-scale acceptance benchmark of
+// the calendar-queue engine: one 100k-node, decade-horizon (87,600 h)
+// trial over processes fitted from the 100k-record log — hundreds of
+// thousands of events through the indexed calendar queue, the pooled
+// event records, and the incremental downtime tracker, with a bounded
+// repair-crew pool queueing repairs behind real contention.
+func BenchmarkPerfFleetSim100k(b *testing.B) {
+	procs := fleetProcesses(b)
+	cfg := sim.Config{
+		Nodes:        100_000,
+		NodesPerRack: 36,
+		GPUsPerNode:  4,
+		HorizonHours: 87_600,
+		Processes:    procs,
+		Crews:        1024,
+		Seed:         benchSeed,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failures == 0 {
+			b.Fatal("fleet trial saw no failures")
+		}
+	}
+}
+
+// BenchmarkPerfSweepGrid gates the scenario-sweep driver end to end: a
+// 16-cell checkpoint x spares x accuracy grid at a one-year horizon,
+// through process fitting, the worker pool, sharded NDJSON persistence,
+// and the deterministic merge.
+func BenchmarkPerfSweepGrid(b *testing.B) {
+	grid := sweep.Grid{
+		Systems:       []string{"t2"},
+		CkptIntervals: []float64{0, 24},
+		Spares:        []int{-1, 1},
+		Accuracies:    []float64{0, 0.5},
+		Seeds:         []int64{benchSeed, benchSeed + 1},
+	}
+	params := sweep.Params{
+		HorizonHours:        8760,
+		Crews:               8,
+		LeadTimeHours:       72,
+		AlarmWindowHours:    24,
+		CheckpointCostHours: 0.1,
+		RestartCostHours:    0.2,
+		LogSeed:             benchSeed,
+		MinCount:            10,
+	}
+	root := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := filepath.Join(root, strconv.Itoa(i))
+		if _, err := sweep.Run(context.Background(), sweep.RunnerConfig{
+			Grid: grid, Params: params, OutDir: out, Parallelism: 0,
+		}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,6 +32,7 @@ var tools = []string{
 	"tsubame-gen",
 	"tsubame-report",
 	"tsubame-sim",
+	"tsubame-sweep",
 }
 
 var binDir string
@@ -157,6 +158,7 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"tsubame-gen", []string{"-runs", "0"}},
 		{"tsubame-report", []string{"-bogus"}}, // unknown flag
 		{"tsubame-sim", []string{"-trials", "0"}},
+		{"tsubame-sweep", []string{"-seeds", "0"}}, // also missing -out
 	}
 	for _, c := range cases {
 		t.Run(c.tool, func(t *testing.T) {
@@ -207,6 +209,51 @@ func TestGenAnalyzePipeline(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "Tsubame-3") {
 		t.Fatalf("analyze output does not mention the system:\n%s", stdout)
+	}
+}
+
+// TestSweepCLI runs a tiny grid through the sweep driver and pins the
+// merged NDJSON report against a committed golden: the evaluator is a
+// pure function of (grid, params), so the report bytes are stable across
+// machines and worker counts. It also pins the dirty-directory refusal.
+func TestSweepCLI(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-out", dir, "-systems", "t2", "-ckpt-intervals", "0,24",
+		"-spares", "-1,1", "-accuracy", "0,0.5", "-seeds", "2",
+		"-horizon", "500", "-parallel", "2",
+	}
+	stdout, stderr, code := run(t, "tsubame-sweep", args...)
+	if code != 0 {
+		t.Fatalf("sweep exited %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "Swept 16 cells") {
+		t.Fatalf("unexpected sweep summary:\n%s", stdout)
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "SWEEP_report.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sweep.golden")
+	if *update {
+		if err := os.WriteFile(golden, report, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update): %v", err)
+		}
+		if !bytes.Equal(report, want) {
+			t.Fatalf("sweep report diverged from %s (regenerate with -update if intended)\nfirst divergence: %s",
+				golden, firstDiff(string(want), string(report)))
+		}
+	}
+	// A second run into the same directory without -resume must refuse
+	// rather than interleave two sweeps' shards.
+	_, stderr, code = run(t, "tsubame-sweep", args...)
+	if code != 1 || !strings.Contains(stderr, "resume") {
+		t.Fatalf("dirty-directory re-run: exit %d, stderr %q; want exit 1 mentioning resume", code, stderr)
 	}
 }
 

@@ -1,0 +1,13 @@
+//go:build benchfailinject
+
+package sim
+
+import "testing"
+
+// BenchmarkFailInjected exists only under the benchfailinject build tag
+// and panics on purpose: `make bench-smoke-selftest` compiles with the
+// tag and requires `make bench-smoke` to fail, proving the tee pipeline
+// propagates benchmark failures (the pipe-masking regression guard).
+func BenchmarkFailInjected(b *testing.B) {
+	panic("injected benchmark failure: bench-smoke must report this as a failing run")
+}

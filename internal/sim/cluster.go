@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -208,34 +209,166 @@ type Result struct {
 // interval is a node-down span used for downtime union accounting.
 type interval struct{ start, end float64 }
 
+// repairTask is one queued repair, pooled in the run's ring buffer. The
+// victim set is a contiguous node range (one node, or a whole rack), so
+// a (first, count) pair replaces the per-failure victim slice the old
+// engine allocated.
 type repairTask struct {
-	category   failures.Category
-	nodes      []int // nodes taken down (one, or a whole rack)
-	cards      int   // GPU cards involved (0 for non-GPU processes)
+	proc       int32 // index into the run's process table
+	firstNode  int32
+	nodeCount  int32
+	cards      int32 // GPU cards involved (0 for non-GPU processes)
 	start      float64
 	discounted bool // arrived under a proactive-recovery alarm
 }
 
-// procState couples a process with its deterministic sampling streams
-// and the alias table for its GPU-involvement PMF (nil when the process
-// carries none), built once per Run instead of scanned per failure.
+// procState couples a process with its deterministic sampling streams,
+// the alias table for its GPU-involvement PMF (nil when the process
+// carries none), and the per-process accumulators folded into the
+// Result map once the run ends (categories are unique per validate).
 type procState struct {
 	proc        FailureProcess
 	arrivalRNG  *rand.Rand
 	repairRNG   *rand.Rand
 	involvement *sample.Alias
+	lastArrival float64 // most recent arrival (proactive alarm); -Inf before the first
+	stats       CategoryStats
 }
 
 // drawInvolvement samples the number of GPU cards a failure takes down
 // from the process involvement PMF (0 when the process carries none).
 // The alias draw consumes one uniform variate, exactly like the
 // cumulative-weight scan it replaced.
-func (st *procState) drawInvolvement() int {
+func (st *procState) drawInvolvement() int32 {
 	if st.involvement == nil {
 		return 0
 	}
-	return st.involvement.Draw(st.arrivalRNG) + 1
+	return int32(st.involvement.Draw(st.arrivalRNG)) + 1
 }
+
+// downTracker folds node-down intervals into per-node union lengths
+// incrementally. Repairs begin in FIFO order, so interval starts arrive
+// non-decreasing per node and the union reduces to extend-or-flush over
+// one open interval per node: O(nodes) memory for a fleet-scale decade
+// trial instead of O(failures) interval records. The flush arithmetic
+// (clip, subtract, accumulate per node, then sum in node order) repeats
+// the retired mergeSpans/unionLength pipeline operation for operation,
+// keeping results byte-identical.
+type downTracker struct {
+	curStart []float64
+	curEnd   []float64 // -1 marks "no open interval"
+	lost     []float64
+	horizon  float64
+	// edges collects merged spans as +1/-1 deltas for the nodes-down
+	// series; nil unless sampling was requested.
+	edges     []downEdge
+	wantEdges bool
+}
+
+type downEdge struct {
+	t     float64
+	delta int
+}
+
+func newDownTracker(nodes int, horizon float64, wantEdges bool) *downTracker {
+	d := &downTracker{
+		curStart:  make([]float64, nodes),
+		curEnd:    make([]float64, nodes),
+		lost:      make([]float64, nodes),
+		horizon:   horizon,
+		wantEdges: wantEdges,
+	}
+	for i := range d.curEnd {
+		d.curEnd[i] = -1
+	}
+	return d
+}
+
+// add records a node-down interval [start, end). Starts must arrive
+// non-decreasing per node (guaranteed by FIFO repair dispatch).
+func (d *downTracker) add(node int32, start, end float64) {
+	if d.curEnd[node] < 0 {
+		d.curStart[node], d.curEnd[node] = start, end
+		return
+	}
+	if start <= d.curEnd[node] {
+		if end > d.curEnd[node] {
+			d.curEnd[node] = end
+		}
+		return
+	}
+	d.flush(node)
+	d.curStart[node], d.curEnd[node] = start, end
+}
+
+// flush closes the node's open interval: clip to [0, horizon] and charge
+// the length, emitting the unclipped span edges for the series sampler.
+func (d *downTracker) flush(node int32) {
+	s, e := d.curStart[node], d.curEnd[node]
+	if d.wantEdges {
+		d.edges = append(d.edges, downEdge{s, +1}, downEdge{e, -1})
+	}
+	if s < 0 {
+		s = 0
+	}
+	if e > d.horizon {
+		e = d.horizon
+	}
+	if e > s {
+		d.lost[node] += e - s
+	}
+}
+
+// total flushes every open interval and sums the per-node losses in node
+// order (the summation order of the per-node unionLength loop it
+// replaced).
+func (d *downTracker) total() float64 {
+	for node := range d.curEnd {
+		if d.curEnd[node] >= 0 {
+			d.flush(int32(node))
+			d.curEnd[node] = -1
+		}
+	}
+	var lost float64
+	for _, l := range d.lost {
+		lost += l
+	}
+	return lost
+}
+
+// taskQueue is a FIFO ring over pooled repairTask records: the waiting-
+// for-a-crew queue. Popped slots are reused once the queue drains or the
+// dead prefix dominates, so steady-state queueing allocates nothing.
+type taskQueue struct {
+	buf  []repairTask
+	head int
+}
+
+func (q *taskQueue) push(t repairTask) {
+	// Compact when the dead prefix dominates a sizable buffer; amortized
+	// O(1) per operation.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, t)
+}
+
+func (q *taskQueue) pop() repairTask {
+	t := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}
+
+func (q *taskQueue) len() int { return len(q.buf) - q.head }
+
+// pending iterates the still-queued tasks in FIFO order.
+func (q *taskQueue) pending() []repairTask { return q.buf[q.head:] }
 
 // Run executes the simulation described by cfg. Runs are fully
 // deterministic in (cfg, cfg.Seed).
@@ -249,16 +382,16 @@ func Run(cfg Config) (*Result, error) {
 		parts = alwaysAvailable{}
 	}
 	eng := &Engine{}
-	res := &Result{PerCategory: make(map[failures.Category]CategoryStats)}
-	downtime := make([][]interval, cfg.Nodes)
+	res := &Result{PerCategory: make(map[failures.Category]CategoryStats, len(cfg.Processes))}
+	down := newDownTracker(cfg.Nodes, cfg.HorizonHours, cfg.SampleEveryHours > 0)
 
-	states := make(map[failures.Category]*procState, len(cfg.Processes))
-	for _, p := range cfg.Processes {
-		st := &procState{
-			proc:       p,
-			arrivalRNG: dist.Fork(cfg.Seed, "arrival/"+string(p.Category)),
-			repairRNG:  dist.Fork(cfg.Seed, "repair/"+string(p.Category)),
-		}
+	states := make([]procState, len(cfg.Processes))
+	for i, p := range cfg.Processes {
+		st := &states[i]
+		st.proc = p
+		st.arrivalRNG = dist.Fork(cfg.Seed, "arrival/"+string(p.Category))
+		st.repairRNG = dist.Fork(cfg.Seed, "repair/"+string(p.Category))
+		st.lastArrival = math.Inf(-1)
 		if len(p.Involvement) > 0 {
 			alias, err := sample.NewAlias(p.Involvement)
 			if err != nil {
@@ -266,19 +399,17 @@ func Run(cfg Config) (*Result, error) {
 			}
 			st.involvement = alias
 		}
-		states[p.Category] = st
 	}
 
 	freeCrews := cfg.Crews
 	unlimited := cfg.Crews == 0
-	var queue []repairTask
+	var queue taskQueue
 	var totalWait, totalRestore float64
 
-	var dispatch func()
 	begin := func(task repairTask) {
-		st := states[task.category]
+		st := &states[task.proc]
 		crewWait := eng.Now() - task.start
-		partWait := parts.Acquire(task.category, eng.Now())
+		partWait := parts.Acquire(st.proc.Category, eng.Now())
 		duration := st.proc.Repair.Sample(st.repairRNG)
 		if task.discounted {
 			duration *= cfg.Proactive.Factor
@@ -287,36 +418,27 @@ func Run(cfg Config) (*Result, error) {
 		wait := crewWait + partWait
 		end := eng.Now() + partWait + duration
 
-		stats := res.PerCategory[task.category]
-		stats.RepairHours += duration
-		stats.WaitHours += wait
-		res.PerCategory[task.category] = stats
+		st.stats.RepairHours += duration
+		st.stats.WaitHours += wait
 		if task.cards > 0 {
-			res.GPUCardIncidents += task.cards
+			res.GPUCardIncidents += int(task.cards)
 			res.GPUCardHoursLost += float64(task.cards) * duration
 		}
 		totalWait += wait
 		totalRestore += end - task.start
 		res.BegunRepairs++
-		// Record the down intervals now that the end is known; unionLength
-		// clips to the horizon, so repairs finishing past it are charged
-		// exactly the in-horizon portion.
-		for _, node := range task.nodes {
-			downtime[node] = append(downtime[node], interval{task.start, end})
+		// Record the down intervals now that the end is known; the
+		// tracker clips to the horizon, so repairs finishing past it are
+		// charged exactly the in-horizon portion.
+		for n := task.firstNode; n < task.firstNode+task.nodeCount; n++ {
+			down.add(n, task.start, end)
 		}
 
-		mustSchedule(eng, partWait+duration, func() {
-			res.CompletedRepairs++
-			if !unlimited {
-				freeCrews++
-				dispatch()
-			}
-		})
+		eng.ScheduleEvent(partWait+duration, evRepairDone, 0)
 	}
-	dispatch = func() {
-		for len(queue) > 0 && (unlimited || freeCrews > 0) {
-			task := queue[0]
-			queue = queue[1:]
+	dispatch := func() {
+		for queue.len() > 0 && (unlimited || freeCrews > 0) {
+			task := queue.pop()
 			if !unlimited {
 				freeCrews--
 			}
@@ -324,90 +446,94 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// One self-rescheduling generator per failure process, started in
-	// declaration order so event tie-breaking is deterministic.
-	lastArrival := make(map[failures.Category]float64, len(cfg.Processes))
-	for _, p := range cfg.Processes {
-		st := states[p.Category]
-		var arrive func()
-		arrive = func() {
+	// The typed-event dispatcher replaces one closure per event with one
+	// handler per run: arrivals carry their process index, completions
+	// free their crew.
+	eng.SetHandler(func(kind, arg int32) {
+		switch kind {
+		case evArrival:
+			st := &states[arg]
 			res.Failures++
-			stats := res.PerCategory[st.proc.Category]
-			stats.Failures++
-			res.PerCategory[st.proc.Category] = stats
-			nodes := pickVictims(st.proc, cfg, st.arrivalRNG)
+			st.stats.Failures++
+			first, count := pickVictims(&st.proc, &cfg, st.arrivalRNG)
 			cards := st.drawInvolvement()
 			parts.Observe(st.proc.Category, eng.Now())
 			discounted := false
 			if cfg.Proactive != nil {
-				if prev, seen := lastArrival[st.proc.Category]; seen &&
-					eng.Now()-prev <= cfg.Proactive.WindowHours {
+				if eng.Now()-st.lastArrival <= cfg.Proactive.WindowHours {
 					discounted = true
 				}
-				lastArrival[st.proc.Category] = eng.Now()
+				st.lastArrival = eng.Now()
 			}
-			queue = append(queue, repairTask{category: st.proc.Category, nodes: nodes, cards: cards, start: eng.Now(), discounted: discounted})
-			if len(queue) > res.PeakQueue {
-				res.PeakQueue = len(queue)
+			queue.push(repairTask{proc: arg, firstNode: first, nodeCount: count, cards: cards, start: eng.Now(), discounted: discounted})
+			if queue.len() > res.PeakQueue {
+				res.PeakQueue = queue.len()
 			}
 			dispatch()
-			mustSchedule(eng, st.proc.Interarrival.Sample(st.arrivalRNG), arrive)
+			eng.ScheduleEvent(st.proc.Interarrival.Sample(st.arrivalRNG), evArrival, arg)
+		case evRepairDone:
+			res.CompletedRepairs++
+			if !unlimited {
+				freeCrews++
+				dispatch()
+			}
 		}
-		mustSchedule(eng, st.proc.Interarrival.Sample(st.arrivalRNG), arrive)
+	})
+
+	// One self-rescheduling arrival stream per failure process, started
+	// in declaration order so event tie-breaking is deterministic.
+	for i := range states {
+		st := &states[i]
+		eng.ScheduleEvent(st.proc.Interarrival.Sample(st.arrivalRNG), evArrival, int32(i))
 	}
 
 	eng.Run(cfg.HorizonHours)
 
-	var lost float64
-	for _, spans := range downtime {
-		lost += unionLength(spans, cfg.HorizonHours)
-	}
+	lost := down.total()
 	// Tasks still waiting for a crew at the horizon have no recorded
 	// interval yet; charge their elapsed downtime per affected node.
-	for _, task := range queue {
-		lost += (cfg.HorizonHours - task.start) * float64(len(task.nodes))
+	for _, task := range queue.pending() {
+		lost += (cfg.HorizonHours - task.start) * float64(task.nodeCount)
 	}
 	res.NodeHoursLost = lost
 	res.Availability = 1 - lost/(float64(cfg.Nodes)*cfg.HorizonHours)
 	if cfg.SampleEveryHours > 0 {
-		res.Series = sampleNodesDown(downtime, cfg.HorizonHours, cfg.SampleEveryHours)
+		res.Series = sampleNodesDown(down.edges, cfg.HorizonHours, cfg.SampleEveryHours)
 	}
 	if res.BegunRepairs > 0 {
 		res.MeanRepairWait = totalWait / float64(res.BegunRepairs)
 		res.MeanTimeToRestore = totalRestore / float64(res.BegunRepairs)
 	}
+	for i := range states {
+		// Only categories that actually failed appear in the map,
+		// matching the incremental map writes of the old run loop.
+		if states[i].stats.Failures > 0 {
+			res.PerCategory[states[i].proc.Category] = states[i].stats
+		}
+	}
 	return res, nil
 }
 
-// pickVictims selects the nodes a failure takes down: one uniform node,
-// or every node of a uniform rack for rack-scoped processes.
-func pickVictims(proc FailureProcess, cfg Config, rng *rand.Rand) []int {
+// pickVictims selects the nodes a failure takes down as a contiguous
+// range: one uniform node, or every node of a uniform rack for
+// rack-scoped processes.
+func pickVictims(proc *FailureProcess, cfg *Config, rng *rand.Rand) (first, count int32) {
 	if proc.Scope != ScopeRack {
-		return []int{rng.Intn(cfg.Nodes)}
+		return int32(rng.Intn(cfg.Nodes)), 1
 	}
 	racks := (cfg.Nodes + cfg.NodesPerRack - 1) / cfg.NodesPerRack
 	rack := rng.Intn(racks)
-	first := rack * cfg.NodesPerRack
-	last := first + cfg.NodesPerRack
-	if last > cfg.Nodes {
-		last = cfg.Nodes
+	lo := rack * cfg.NodesPerRack
+	hi := lo + cfg.NodesPerRack
+	if hi > cfg.Nodes {
+		hi = cfg.Nodes
 	}
-	nodes := make([]int, 0, last-first)
-	for n := first; n < last; n++ {
-		nodes = append(nodes, n)
-	}
-	return nodes
-}
-
-// mustSchedule wraps Engine.Schedule for callbacks that are statically
-// non-nil; Schedule only fails on nil actions.
-func mustSchedule(eng *Engine, delay float64, action func()) {
-	if err := eng.Schedule(delay, action); err != nil {
-		panic(err)
-	}
+	return int32(lo), int32(hi - lo)
 }
 
 // mergeSpans returns the sorted union of spans as disjoint intervals.
+// The run loop now unions incrementally (downTracker); this remains the
+// reference implementation for tests and offline span sets.
 func mergeSpans(spans []interval) []interval {
 	if len(spans) == 0 {
 		return nil
@@ -447,25 +573,15 @@ func unionLength(spans []interval, horizon float64) float64 {
 	return total
 }
 
-// sampleNodesDown converts the per-node downtime intervals into a
-// nodes-down time series at the given cadence.
-func sampleNodesDown(downtime [][]interval, horizon, every float64) []AvailabilitySample {
-	type edge struct {
-		t     float64
-		delta int
-	}
-	var edges []edge
-	for _, spans := range downtime {
-		for _, sp := range mergeSpans(spans) {
-			edges = append(edges, edge{sp.start, +1}, edge{sp.end, -1})
-		}
-	}
+// sampleNodesDown converts merged node-down span edges into a nodes-down
+// time series at the given cadence. Edges arrive as one +1/-1 pair per
+// merged per-node span; ends sort before starts at the same instant so a
+// node repaired exactly at the sample time counts as up.
+func sampleNodesDown(edges []downEdge, horizon, every float64) []AvailabilitySample {
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].t != edges[j].t {
 			return edges[i].t < edges[j].t
 		}
-		// Ends before starts at the same instant: a node repaired exactly
-		// at the sample time counts as up.
 		return edges[i].delta < edges[j].delta
 	})
 	var series []AvailabilitySample

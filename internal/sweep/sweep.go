@@ -1,0 +1,114 @@
+// Package sweep grid-searches the paper's operational-implications
+// levers — checkpoint interval, spare-pool size, failure-prediction
+// accuracy — across system profiles and seeds. It enumerates a
+// deterministic cell grid, evaluates each cell with the fitted-process
+// simulator, and persists results as resumable sharded NDJSON: one
+// shard per worker plus an append-only manifest of completed cell IDs,
+// so an interrupted sweep can resume without recomputing finished cells
+// and still merge to a byte-identical final report.
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Grid is the cartesian scenario space of one sweep. Cell enumeration
+// order is fixed (system, checkpoint interval, spares, accuracy, seed —
+// rightmost fastest) so cell indices and the merged report are stable
+// across runs and worker counts.
+type Grid struct {
+	// Systems are profile names accepted by cli.ParseSystem ("t2", "t3").
+	Systems []string
+	// CkptIntervals are checkpoint intervals in hours; 0 selects the
+	// Young/Daly optimum for the cell's measured MTBF.
+	CkptIntervals []float64
+	// Spares are per-category initial spare-part stocks (S-1 base-stock
+	// policy); -1 means unlimited on-site spares.
+	Spares []int
+	// Accuracies are failure-prediction accuracies in [0, 1): 0 disables
+	// proactive recovery, a in (0, 1) discounts alarmed repairs to
+	// (1 - a) of their sampled duration.
+	Accuracies []float64
+	// Seeds are the per-cell simulation seeds.
+	Seeds []int64
+}
+
+// Validate checks every grid axis.
+func (g Grid) Validate() error {
+	if len(g.Systems) == 0 || len(g.CkptIntervals) == 0 || len(g.Spares) == 0 ||
+		len(g.Accuracies) == 0 || len(g.Seeds) == 0 {
+		return fmt.Errorf("sweep: every grid axis needs at least one value")
+	}
+	for _, ck := range g.CkptIntervals {
+		if ck < 0 {
+			return fmt.Errorf("sweep: negative checkpoint interval %v", ck)
+		}
+	}
+	for _, sp := range g.Spares {
+		if sp < -1 {
+			return fmt.Errorf("sweep: spare stock %d below -1 (unlimited)", sp)
+		}
+	}
+	for _, a := range g.Accuracies {
+		if a < 0 || a >= 1 {
+			return fmt.Errorf("sweep: prediction accuracy %v outside [0, 1)", a)
+		}
+	}
+	return nil
+}
+
+// Size is the number of cells the grid enumerates.
+func (g Grid) Size() int {
+	return len(g.Systems) * len(g.CkptIntervals) * len(g.Spares) *
+		len(g.Accuracies) * len(g.Seeds)
+}
+
+// Cell is one (scenario, seed) point of the grid.
+type Cell struct {
+	// Index is the cell's position in enumeration order; the merged
+	// report is sorted by it.
+	Index int `json:"index"`
+	// ID is the human-readable cell key recorded in the manifest, e.g.
+	// "t2/ck24/sp2/acc0.5/seed42".
+	ID           string  `json:"id"`
+	System       string  `json:"system"`
+	CkptInterval float64 `json:"ckpt_interval_hours"`
+	Spares       int     `json:"spares"`
+	Accuracy     float64 `json:"accuracy"`
+	Seed         int64   `json:"seed"`
+}
+
+// Cells enumerates the grid in its fixed order.
+func (g Grid) Cells() []Cell {
+	cells := make([]Cell, 0, g.Size())
+	for _, sys := range g.Systems {
+		for _, ck := range g.CkptIntervals {
+			for _, sp := range g.Spares {
+				for _, acc := range g.Accuracies {
+					for _, seed := range g.Seeds {
+						c := Cell{
+							Index:        len(cells),
+							System:       sys,
+							CkptInterval: ck,
+							Spares:       sp,
+							Accuracy:     acc,
+							Seed:         seed,
+						}
+						c.ID = cellID(c)
+						cells = append(cells, c)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func cellID(c Cell) string {
+	return c.System +
+		"/ck" + strconv.FormatFloat(c.CkptInterval, 'g', -1, 64) +
+		"/sp" + strconv.Itoa(c.Spares) +
+		"/acc" + strconv.FormatFloat(c.Accuracy, 'g', -1, 64) +
+		"/seed" + strconv.FormatInt(c.Seed, 10)
+}

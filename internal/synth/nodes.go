@@ -196,7 +196,10 @@ func pickAffectedNodes(p *Profile, n int, rng *rand.Rand) ([]int, error) {
 	for _, r := range rng.Perm(racks)[:hotCount] {
 		hot[r] = true
 	}
-	f := nodeSamplerPool.Get().(*sample.Fenwick)
+	f, ok := nodeSamplerPool.Get().(*sample.Fenwick)
+	if !ok {
+		f = new(sample.Fenwick) // unreachable: the pool's New is the only producer
+	}
 	defer nodeSamplerPool.Put(f)
 	err := f.ResetFunc(p.NodeCount, func(i int) float64 {
 		if hot[i/p.NodesPerRack] {

@@ -23,7 +23,10 @@ var readPool = sync.Pool{
 // copied out (both readers copy: encoding/csv re-allocates field strings
 // per row and encoding/json copies into the target struct).
 func slurp(r io.Reader) (*bytes.Buffer, error) {
-	buf := readPool.Get().(*bytes.Buffer)
+	buf, ok := readPool.Get().(*bytes.Buffer)
+	if !ok {
+		buf = new(bytes.Buffer) // unreachable: the pool's New is the only producer
+	}
 	buf.Reset()
 	if _, err := buf.ReadFrom(r); err != nil {
 		releaseBuf(buf)
@@ -67,7 +70,10 @@ var writerPool = sync.Pool{
 
 // getWriter borrows a pooled buffered writer aimed at w.
 func getWriter(w io.Writer) *bufio.Writer {
-	bw := writerPool.Get().(*bufio.Writer)
+	bw, ok := writerPool.Get().(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriterSize(io.Discard, 64<<10) // unreachable: pool New is the only producer
+	}
 	bw.Reset(w)
 	return bw
 }
@@ -88,7 +94,12 @@ var linePool = sync.Pool{
 
 // getLine borrows a pooled scratch slice (length 0).
 func getLine() *[]byte {
-	return linePool.Get().(*[]byte)
+	line, ok := linePool.Get().(*[]byte)
+	if !ok {
+		b := make([]byte, 0, 1024) // unreachable: pool New is the only producer
+		line = &b
+	}
+	return line
 }
 
 // putLine returns a scratch slice to the pool, dropping ones that grew
