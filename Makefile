@@ -22,7 +22,7 @@ BENCH_PKGS ?= ./...
 BENCH_OUT ?= BENCH_ci.json
 BENCH_TAGS ?=
 
-.PHONY: build test race bench bench-baseline bench-check bench-smoke bench-smoke-selftest sweep-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
+.PHONY: build test race bench bench-baseline bench-check bench-smoke bench-smoke-selftest sweep-smoke serve-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -85,6 +85,14 @@ bench-smoke-selftest:
 sweep-smoke:
 	./scripts/sweep_smoke.sh
 
+## serve-smoke: black-box smoke of the tsubame-serve HTTP service — boot
+## the binary, stream the committed seed-42 trace in two chunks with
+## queries between them, and require the fully-ingested analyze/digest
+## responses to match the batch CLIs' goldens byte for byte
+## (docs/SERVICE.md).
+serve-smoke:
+	$(GO) test ./e2e -run '^TestServeCLI' -count=1 -v
+
 ## profile-gen: CPU and allocation pprof profiles of the end-to-end 100k
 ## generate+encode pipeline (BenchmarkPerfGenerateEncode100k). Inspect
 ## with `go tool pprof PROFILE_gen_cpu.out`; CI uploads both profiles as
@@ -119,7 +127,7 @@ lint:
 		|| echo "golangci-lint not installed; skipping (CI runs it as a blocking job)"
 
 ## ci: every blocking CI step, in CI's order
-ci: build vet test race conform bench-smoke bench-smoke-selftest sweep-smoke fuzz-smoke
+ci: build vet test race conform bench-smoke bench-smoke-selftest sweep-smoke serve-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_ci.json BENCH_perf.txt PROFILE_gen_cpu.out PROFILE_gen_mem.out CONFORM_report.json COVER_profile.out repro.test

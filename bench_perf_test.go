@@ -15,15 +15,22 @@ package tsubame_test
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	tsubame "repro"
 	"repro/internal/dist"
 	"repro/internal/failures"
 	"repro/internal/index"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -392,17 +399,175 @@ func BenchmarkPerfSweepGrid(b *testing.B) {
 // BenchmarkPerfReadNDJSON100k is the NDJSON twin of the CSV reader
 // benchmark, through the same pooled path.
 func BenchmarkPerfReadNDJSON100k(b *testing.B) {
-	log := perfLog(b)
-	var buf bytes.Buffer
-	if err := trace.WriteNDJSON(&buf, log); err != nil {
-		b.Fatal(err)
-	}
-	data := buf.Bytes()
+	data := perfNDJSONBytes(b)
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := trace.ReadNDJSON(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// perfNDJSON renders the 100k log to NDJSON once, shared by the reader
+// and serve benchmarks.
+var perfNDJSON struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+func perfNDJSONBytes(b *testing.B) []byte {
+	b.Helper()
+	log := perfLog(b)
+	perfNDJSON.once.Do(func() {
+		var buf bytes.Buffer
+		perfNDJSON.err = trace.WriteNDJSON(&buf, log)
+		perfNDJSON.data = buf.Bytes()
+	})
+	if perfNDJSON.err != nil {
+		b.Fatal(perfNDJSON.err)
+	}
+	return perfNDJSON.data
+}
+
+// perfNDJSONChunks splits the rendered 100k trace into n line-aligned
+// ingest chunks.
+func perfNDJSONChunks(b *testing.B, n int) [][]byte {
+	b.Helper()
+	lines := bytes.SplitAfter(perfNDJSONBytes(b), []byte("\n"))
+	chunks := make([][]byte, 0, n)
+	per := (len(lines) + n - 1) / n
+	for at := 0; at < len(lines); at += per {
+		end := at + per
+		if end > len(lines) {
+			end = len(lines)
+		}
+		chunks = append(chunks, bytes.Join(lines[at:end], nil))
+	}
+	return chunks
+}
+
+func perfServeHandler(b *testing.B) http.Handler {
+	b.Helper()
+	srv, err := serve.New(serve.Config{System: failures.Tsubame3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv.Handler()
+}
+
+func perfServeDo(h http.Handler, method, path string, body []byte) *httptest.ResponseRecorder {
+	var r io.Reader
+	if body != nil {
+		r = bytes.NewReader(body)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, r))
+	return rec
+}
+
+// BenchmarkPerfServeIngest100k measures the streaming-ingest plane of
+// tsubame-serve: the 100k-record NDJSON trace through the HTTP handler
+// in eight chunks, each publishing a new epoch (parse, validate,
+// re-sort, snapshot swap) on a fresh server per iteration.
+func BenchmarkPerfServeIngest100k(b *testing.B) {
+	chunks := perfNDJSONChunks(b, 8)
+	b.SetBytes(int64(len(perfNDJSONBytes(b))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := perfServeHandler(b)
+		for _, chunk := range chunks {
+			if rec := perfServeDo(h, http.MethodPost, "/v1/ingest", chunk); rec.Code != http.StatusOK {
+				b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	}
+	b.ReportMetric(float64(perfLog(b).Len()), "records")
+}
+
+// BenchmarkPerfServeQueryCached100k measures the steady-state query hot
+// path: a repeated digest over a fully-ingested 100k-record store, every
+// request after the first a cache hit on the current epoch. This is the
+// latency a dashboard polling an idle server sees.
+func BenchmarkPerfServeQueryCached100k(b *testing.B) {
+	h := perfServeHandler(b)
+	if rec := perfServeDo(h, http.MethodPost, "/v1/ingest", perfNDJSONBytes(b)); rec.Code != http.StatusOK {
+		b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body)
+	}
+	const path = "/v1/digest?days=30"
+	if rec := perfServeDo(h, http.MethodGet, path, nil); rec.Code != http.StatusOK {
+		b.Fatalf("warm-up query: status %d: %s", rec.Code, rec.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := perfServeDo(h, http.MethodGet, path, nil); rec.Code != http.StatusOK {
+			b.Fatalf("query: status %d: %s", rec.Code, rec.Body)
+		}
+	}
+}
+
+// BenchmarkPerfServeMixed100k is the service's load benchmark: eight
+// concurrent query clients against sustained chunked ingest of the
+// 100k-record trace. Each iteration replays the full scenario on a
+// fresh server; per-query wall latencies are aggregated across clients
+// and iterations and the 99th percentile is reported as p99_ms — the
+// number the epoch-snapshot design exists to keep flat while ingest
+// re-sorts ever-larger logs.
+func BenchmarkPerfServeMixed100k(b *testing.B) {
+	chunks := perfNDJSONChunks(b, 8)
+	const clients = 8
+	paths := []string{"/v1/digest?days=30", "/v1/digest?days=90", "/v1/status", "/v1/diff"}
+	var mu sync.Mutex
+	var latencies []time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := perfServeHandler(b)
+		if rec := perfServeDo(h, http.MethodPost, "/v1/ingest", chunks[0]); rec.Code != http.StatusOK {
+			b.Fatalf("seed ingest: status %d: %s", rec.Code, rec.Body)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				var lats []time.Duration
+				for {
+					select {
+					case <-stop:
+						mu.Lock()
+						latencies = append(latencies, lats...)
+						mu.Unlock()
+						return
+					default:
+					}
+					start := time.Now()
+					rec := perfServeDo(h, http.MethodGet, path, nil)
+					if rec.Code != http.StatusOK {
+						panic(fmt.Sprintf("query %s: status %d: %s", path, rec.Code, rec.Body))
+					}
+					lats = append(lats, time.Since(start))
+				}
+			}(paths[c%len(paths)])
+		}
+		for _, chunk := range chunks[1:] {
+			if rec := perfServeDo(h, http.MethodPost, "/v1/ingest", chunk); rec.Code != http.StatusOK {
+				b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body)
+			}
+		}
+		close(stop)
+		wg.Wait()
+	}
+	b.StopTimer()
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p99 := latencies[len(latencies)*99/100]
+		if len(latencies)*99/100 >= len(latencies) {
+			p99 = latencies[len(latencies)-1]
+		}
+		b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99_ms")
+		b.ReportMetric(float64(len(latencies))/float64(b.N), "queries/op")
 	}
 }

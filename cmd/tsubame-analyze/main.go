@@ -10,7 +10,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"os"
@@ -18,6 +17,7 @@ import (
 	tsubame "repro"
 	"repro/internal/cli"
 	"repro/internal/parallel"
+	"repro/internal/textreport"
 )
 
 func main() {
@@ -63,33 +63,7 @@ func main() {
 		m.SetRecordCount("records", failureLog.Len())
 	}
 
-	fmt.Printf("Analyzed %d failures on %v over %.0f days.\n\n", study.Records, study.System, study.SpanDays)
-	for _, n := range []int{2, 3, 4, 5, 7, 8, 10, 11, 12} {
-		if s := tsubame.RenderFigure(n, study); s != "" {
-			fmt.Println(s)
-		}
-	}
-	fmt.Printf("MTBF %.1f h (p75 %.1f h); MTTR %.1f h (max %.0f h).\n",
-		study.TBF.MTBFHours, study.TBF.P75, study.TTR.MTTRHours, study.TTR.MaxHours)
-	fmt.Printf("Performance-error-proportionality: %.3f ZFLOP per MTBF window.\n\n", study.PEP.FLOPPerMTBF)
-
-	// Extension analyses (spatial concentration, card survival, rolling
-	// reliability) when the log carries the needed attribution.
-	if study.Spatial != nil {
-		fmt.Println(tsubame.RenderSpatial(study))
-	}
-	if study.Survival != nil {
-		fmt.Printf("GPU cards: %d of %d saw a failure; one-year card survival %.1f%%.\n",
-			study.Survival.Failed, study.Survival.Cards, 100*study.Survival.SurvivalAtOneYear)
-	}
-	if series, err := tsubame.RollingMTBF(failureLog, 90, 45); err == nil {
-		fmt.Println()
-		fmt.Print(tsubame.RenderRollingMTBF("Rolling 90-day MTBF.", series))
-	}
-	if rows, err := tsubame.TTRSignificanceByCategory(failureLog, 10); err == nil {
-		fmt.Println()
-		fmt.Print(tsubame.RenderTTRSignificance(study.System.String(), rows))
-	}
+	textreport.Analyze(os.Stdout, study, failureLog)
 	if err := run.Finish(); err != nil {
 		log.Fatal(err)
 	}

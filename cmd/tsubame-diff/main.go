@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	tsubame "repro"
 	"repro/internal/cli"
+	"repro/internal/textreport"
 )
 
 func main() {
@@ -55,27 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Period diff on %v: %d failures before, %d after.\n\n",
-		before.System(), d.BeforeFailures, d.AfterFailures)
-	fmt.Printf("%-28s %10s %10s\n", "", "before", "after")
-	fmt.Printf("%-28s %10d %10d\n", "failures", d.BeforeFailures, d.AfterFailures)
-	fmt.Printf("%-28s %10.1f %10.1f\n", "MTTR (h)", d.MTTRBefore, d.MTTRAfter)
-	fmt.Printf("\nfailure-rate ratio (after/before): %.2f\n", d.FailureRateRatio)
-	fmt.Printf("TBF shift: Mann-Whitney p = %.4f\n", d.TBFShiftP)
-	fmt.Printf("TTR shift: Mann-Whitney p = %.4f\n", d.TTRShiftP)
-	if d.Improved(*alpha) {
-		fmt.Printf("Verdict: reliability improved (alpha %.2f).\n", *alpha)
-	} else {
-		fmt.Printf("Verdict: no statistically backed improvement (alpha %.2f).\n", *alpha)
-	}
-
-	fmt.Println("\nLargest category-share movements:")
-	for i, r := range d.Drift {
-		if i == 8 {
-			break
-		}
-		fmt.Printf("  %-14s %+6.2f%%  (%.2f%% -> %.2f%%)\n", r.Category, r.Delta, r.OldPercent, r.NewPercent)
-	}
+	textreport.Diff(os.Stdout, before.System(), d, *alpha)
 	if err := run.Finish(); err != nil {
 		log.Fatal(err)
 	}

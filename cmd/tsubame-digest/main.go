@@ -12,13 +12,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"sort"
+	"os"
 	"time"
 
-	tsubame "repro"
 	"repro/internal/cli"
+	"repro/internal/textreport"
 )
 
 func main() {
@@ -49,126 +48,22 @@ func main() {
 		m.AddSeed(*seed)
 		m.SetRecordCount("records", failureLog.Len())
 	}
-	_, logEnd, _ := failureLog.Window()
-	from := logEnd.AddDate(0, 0, -*days)
+	from := textreport.DefaultDigestFrom(failureLog, *days)
 	if *fromStr != "" {
 		from, err = time.Parse("2006-01-02", *fromStr)
 		if err != nil {
 			log.Fatalf("bad -from: %v", err)
 		}
 	}
-	to := from.AddDate(0, 0, *days)
 
-	history, restAfter := failureLog.SplitAt(from)
-	period, _ := restAfter.SplitAt(to)
-	if period.Len() == 0 {
-		log.Fatalf("no failures between %s and %s", from.Format("2006-01-02"), to.Format("2006-01-02"))
-	}
-
-	fmt.Printf("Operations digest: %v, %s .. %s (%d days)\n\n",
-		failureLog.System(), from.Format("2006-01-02"), to.Format("2006-01-02"), *days)
-
-	// Headline counts and period-over-history comparison.
-	fmt.Printf("Failures this period: %d", period.Len())
-	if history.Len() > 1 {
-		historyDays := history.Span().Hours() / 24
-		if historyDays > 0 {
-			expected := float64(history.Len()) / historyDays * float64(*days)
-			fmt.Printf(" (history-rate expectation: %.0f)", expected)
-		}
-	}
-	fmt.Println()
-	if mttr, ok := period.MTTRHours(); ok {
-		histMTTR, _ := history.MTTRHours()
-		fmt.Printf("MTTR this period: %.1f h (history: %.1f h)\n", mttr, histMTTR)
-	}
-	if mtbf, ok := period.MTBFHours(); ok {
-		fmt.Printf("MTBF this period: %.1f h\n", mtbf)
-	}
-
-	// Category mix of the period.
-	fmt.Println("\nFailures by category:")
-	byCat := period.ByCategory()
-	type catRow struct {
-		cat tsubame.Category
-		n   int
-	}
-	var rows []catRow
-	for cat, n := range byCat {
-		rows = append(rows, catRow{cat, n})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].n != rows[j].n {
-			return rows[i].n > rows[j].n
-		}
-		return rows[i].cat < rows[j].cat
-	})
-	for _, r := range rows {
-		fmt.Printf("  %-14s %d\n", r.cat, r.n)
-	}
-
-	// Worst nodes of the period.
-	byNode := period.ByNode()
-	type nodeRow struct {
-		node string
-		n    int
-	}
-	var nodes []nodeRow
-	for node, n := range byNode {
-		if n >= 2 {
-			nodes = append(nodes, nodeRow{node, n})
-		}
-	}
-	sort.Slice(nodes, func(i, j int) bool {
-		if nodes[i].n != nodes[j].n {
-			return nodes[i].n > nodes[j].n
-		}
-		return nodes[i].node < nodes[j].node
-	})
-	if len(nodes) > 0 {
-		fmt.Println("\nRepeat-offender nodes (2+ failures this period):")
-		for i, r := range nodes {
-			if i == 10 {
-				fmt.Printf("  ... and %d more\n", len(nodes)-10)
-				break
-			}
-			fmt.Printf("  %-8s %d failures\n", r.node, r.n)
-		}
-	}
-
-	// Longest repairs of the period.
-	records := period.Records()
-	sort.Slice(records, func(i, j int) bool { return records[i].Recovery > records[j].Recovery })
-	fmt.Println("\nLongest repairs:")
-	for i, r := range records {
-		if i == 5 {
-			break
-		}
-		fmt.Printf("  %-14s %6.1f h  (node %s, %s)\n",
-			r.Category, r.Recovery.Hours(), orDash(r.Node), r.Time.Format("2006-01-02"))
-	}
-
-	// Multi-GPU alarm state at the period end.
-	multi := period.Filter(func(f tsubame.Failure) bool { return f.MultiGPU() })
-	if multi.Len() > 0 {
-		_, lastMulti, _ := multi.Window()
-		fmt.Printf("\nMulti-GPU failures this period: %d (last on %s).\n",
-			multi.Len(), lastMulti.Format("2006-01-02"))
-		if to.Sub(lastMulti) <= 72*time.Hour {
-			fmt.Println("ALERT: inside the 72 h multi-GPU clustering window — expect follow-ups (Figure 8).")
-		}
+	periodRecords, err := textreport.Digest(os.Stdout, failureLog, from, *days)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if m := run.Manifest(); m != nil {
-		m.SetRecordCount("period_records", period.Len())
+		m.SetRecordCount("period_records", periodRecords)
 	}
 	if err := run.Finish(); err != nil {
 		log.Fatal(err)
 	}
-}
-
-func orDash(s string) string {
-	if s == "" {
-		return "-"
-	}
-	return s
 }

@@ -15,15 +15,12 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"sort"
+	"os"
 
-	tsubame "repro"
 	"repro/internal/cli"
-	"repro/internal/dist"
-	"repro/internal/failures"
 	"repro/internal/parallel"
+	"repro/internal/textreport"
 )
 
 func main() {
@@ -57,71 +54,8 @@ func main() {
 		m.SetRecordCount("records", failureLog.Len())
 	}
 
-	// Assemble every sample first, then fit the whole batch on the pool.
-	titles := []string{
-		"System-wide time between failures",
-		"System-wide time to recovery",
-	}
-	samples := [][]float64{
-		positiveOnly(failureLog.InterarrivalHours()),
-		positiveOnly(failureLog.RecoveryHours()),
-	}
-	counts := failureLog.ByCategory()
-	cats := make([]failures.Category, 0, len(counts))
-	for cat, n := range counts {
-		if n >= *minCount {
-			cats = append(cats, cat)
-		}
-	}
-	sort.Slice(cats, func(i, j int) bool {
-		if counts[cats[i]] != counts[cats[j]] {
-			return counts[cats[i]] > counts[cats[j]]
-		}
-		return cats[i] < cats[j]
-	})
-	for _, cat := range cats {
-		cat := cat
-		sub := failureLog.Filter(func(f tsubame.Failure) bool { return f.Category == cat })
-		titles = append(titles,
-			fmt.Sprintf("%s (%d records) time between failures", cat, sub.Len()),
-			fmt.Sprintf("%s time to recovery", cat))
-		samples = append(samples,
-			positiveOnly(sub.InterarrivalHours()),
-			positiveOnly(sub.RecoveryHours()))
-	}
-
-	fitted := dist.FitAllMany(samples, *para)
-
-	fmt.Printf("Distribution fits for %v (%d records).\n", failureLog.System(), failureLog.Len())
-	for i, sf := range fitted {
-		fmt.Printf("\n%s:\n", titles[i])
-		printFits(sf)
-	}
+	textreport.Fit(os.Stdout, failureLog, *minCount, *para)
 	if err := run.Finish(); err != nil {
 		log.Fatal(err)
 	}
-}
-
-func printFits(sf dist.SampleFits) {
-	if sf.Err != nil {
-		fmt.Printf("  (no fit: %v)\n", sf.Err)
-		return
-	}
-	for i, fit := range sf.Fits {
-		marker := " "
-		if i == 0 {
-			marker = "*" // best by KS
-		}
-		fmt.Printf("  %s %-12s %-38s KS=%.4f AIC=%.1f\n", marker, fit.Name, fit.Dist, fit.KS, fit.AIC)
-	}
-}
-
-func positiveOnly(sample []float64) []float64 {
-	positive := sample[:0:0]
-	for _, x := range sample {
-		if x > 0 {
-			positive = append(positive, x)
-		}
-	}
-	return positive
 }

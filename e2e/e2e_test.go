@@ -31,6 +31,7 @@ var tools = []string{
 	"tsubame-fit",
 	"tsubame-gen",
 	"tsubame-report",
+	"tsubame-serve",
 	"tsubame-sim",
 	"tsubame-sweep",
 }
@@ -157,6 +158,7 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"tsubame-fit", []string{"-min", "0"}},
 		{"tsubame-gen", []string{"-runs", "0"}},
 		{"tsubame-report", []string{"-bogus"}}, // unknown flag
+		{"tsubame-serve", []string{"-max-body", "0"}},
 		{"tsubame-sim", []string{"-trials", "0"}},
 		{"tsubame-sweep", []string{"-seeds", "0"}}, // also missing -out
 	}

@@ -1,0 +1,197 @@
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServe boots the tsubame-serve binary on an ephemeral port and
+// returns its base URL plus a stop function that SIGINTs the process and
+// asserts a clean exit. Readiness is the listening line the server
+// prints to stdout once it accepts connections.
+func startServe(t *testing.T, args ...string) (baseURL string, stop func()) {
+	t.Helper()
+	cmd := exec.Command(bin("tsubame-serve"), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if _, url, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				ready <- url
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case baseURL = <-ready:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("server never printed its listening line\nstderr: %s", stderr.String())
+	}
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+			t.Fatalf("signalling server: %v", err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("server did not exit cleanly: %v\nstderr: %s", err, stderr.String())
+		}
+	}
+	t.Cleanup(stop)
+	return baseURL, stop
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func httpPost(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, respBody
+}
+
+// TestServeCLI is the serve smoke: boot the server, stream the committed
+// seed-42 NDJSON trace in two chunks, query between the chunks, and pin
+// the fully-ingested analyze and digest responses to the same goldens
+// that gate the batch CLIs — the streamed service and the one-shot tools
+// must be byte-identical views of the same records.
+func TestServeCLI(t *testing.T) {
+	trace, err := os.ReadFile(filepath.Join("testdata", "t2-seed42.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(trace, []byte("\n"))
+	first, second := bytes.Join(lines[:450], nil), bytes.Join(lines[450:], nil)
+
+	baseURL, stop := startServe(t, "-system", "t2", "-parallel", "1")
+
+	status, body := httpPost(t, baseURL+"/v1/ingest", first)
+	if status != http.StatusOK {
+		t.Fatalf("first ingest: status %d: %s", status, body)
+	}
+	// Mid-stream queries serve the prefix snapshot.
+	status, body = httpGet(t, baseURL+"/v1/analyze")
+	if status != http.StatusOK || !bytes.Contains(body, []byte("Analyzed 450 failures")) {
+		t.Fatalf("mid-stream analyze: status %d\n%s", status, body)
+	}
+	if status, body = httpGet(t, baseURL+"/v1/digest"); status != http.StatusOK {
+		t.Fatalf("mid-stream digest: status %d: %s", status, body)
+	}
+
+	status, body = httpPost(t, baseURL+"/v1/ingest", second)
+	if status != http.StatusOK {
+		t.Fatalf("second ingest: status %d: %s", status, body)
+	}
+
+	goldens := []struct {
+		path, golden string
+	}{
+		{"/v1/analyze", "analyze.golden"},
+		{"/v1/digest?days=30", "digest.golden"},
+	}
+	for _, g := range goldens {
+		status, got := httpGet(t, baseURL+g.path)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", g.path, status, got)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", g.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverged from %s\nfirst divergence: %s",
+				g.path, g.golden, firstDiff(string(want), string(got)))
+		}
+	}
+
+	// Resource limits answer with a clear 413.
+	status, body = httpPost(t, baseURL+"/v1/ingest",
+		append(bytes.Join(lines[:2], nil), bytes.Repeat([]byte("x"), 2<<20)...))
+	if status != http.StatusRequestEntityTooLarge || !bytes.Contains(body, []byte("line limit")) {
+		t.Fatalf("oversized line: status %d: %s", status, body)
+	}
+
+	stop() // SIGINT must drain and exit 0 (asserted inside stop)
+}
+
+// TestServeCLIBodyLimit boots with a tiny -max-body and pins the 413.
+func TestServeCLIBodyLimit(t *testing.T) {
+	trace, err := os.ReadFile(filepath.Join("testdata", "t2-seed42.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL, _ := startServe(t, "-max-body", "4096")
+	status, body := httpPost(t, baseURL+"/v1/ingest", trace)
+	if status != http.StatusRequestEntityTooLarge || !bytes.Contains(body, []byte("ingest limit")) {
+		t.Fatalf("oversized body: status %d: %s", status, body)
+	}
+	// The rejected batch must not have committed anything.
+	status, body = httpGet(t, baseURL+"/v1/status")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"records":0`)) {
+		t.Fatalf("status after rejected ingest: %d: %s", status, body)
+	}
+}
+
+// TestServeCLIManifest exercises the -manifest flag: after a clean
+// shutdown the run manifest records the ingested record count.
+func TestServeCLIManifest(t *testing.T) {
+	trace, err := os.ReadFile(filepath.Join("testdata", "t2-seed42.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(t.TempDir(), "run.json")
+	baseURL, stop := startServe(t, "-manifest", manifest)
+	if status, body := httpPost(t, baseURL+"/v1/ingest", trace); status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+	stop()
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"records": 897`)) && !bytes.Contains(data, []byte(`"records":897`)) {
+		t.Fatalf("manifest does not record 897 ingested records:\n%s", data)
+	}
+}

@@ -36,14 +36,16 @@ type analysis struct {
 // order and returns the lowest-index error, so failure behavior matches
 // NewStudy as well.
 func Run(log *failures.Log, opts Options) (*Study, error) {
-	return runView(index.New(log), opts)
+	return RunView(index.New(log), opts)
 }
 
-// runView is Run over an already-built index, the shared substrate of
+// RunView is Run over an already-built index, the shared substrate of
 // every phase (docs/PERFORMANCE.md). Facets a phase needs are built on
 // first demand and reused by every later phase, whichever worker gets
-// there first.
-func runView(ix *index.View, opts Options) (*Study, error) {
+// there first. Callers holding a long-lived view (the serve epoch store)
+// use this entry point so repeated analyses share one facet set instead
+// of re-indexing the log per request.
+func RunView(ix *index.View, opts Options) (*Study, error) {
 	defer obs.StartSpan("core/run").End()
 	if ix.Len() < 2 {
 		return nil, ErrTooFewRecords
@@ -201,14 +203,14 @@ func CompareParallel(oldLog, newLog *failures.Log, opts Options) (*Comparison, e
 	err := parallel.Do(context.Background(), opts.Parallelism,
 		func(context.Context) error {
 			var err error
-			if oldStudy, err = runView(oldIx, opts); err != nil {
+			if oldStudy, err = RunView(oldIx, opts); err != nil {
 				return fmt.Errorf("core: old-generation study: %w", err)
 			}
 			return nil
 		},
 		func(context.Context) error {
 			var err error
-			if newStudy, err = runView(newIx, opts); err != nil {
+			if newStudy, err = RunView(newIx, opts); err != nil {
 				return fmt.Errorf("core: new-generation study: %w", err)
 			}
 			return nil

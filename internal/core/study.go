@@ -86,11 +86,11 @@ type Comparison struct {
 // Compare builds the cross-generation comparison from two logs.
 func Compare(oldLog, newLog *failures.Log) (*Comparison, error) {
 	oldIx, newIx := index.New(oldLog), index.New(newLog)
-	oldStudy, err := runView(oldIx, Options{Parallelism: 1})
+	oldStudy, err := RunView(oldIx, Options{Parallelism: 1})
 	if err != nil {
 		return nil, fmt.Errorf("core: old-generation study: %w", err)
 	}
-	newStudy, err := runView(newIx, Options{Parallelism: 1})
+	newStudy, err := RunView(newIx, Options{Parallelism: 1})
 	if err != nil {
 		return nil, fmt.Errorf("core: new-generation study: %w", err)
 	}

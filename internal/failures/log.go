@@ -15,6 +15,13 @@ type Log struct {
 
 // NewLog builds a validated, time-sorted log from records. All records
 // must belong to system. The input slice is copied.
+//
+// Occurrence times are normalized to UTC: RFC 3339 parsing preserves
+// whatever zone offset the input carried, and any facet keyed on a
+// calendar field (the monthly seasonality buckets, digest date labels)
+// would otherwise depend on the offset the log happened to be exported
+// with rather than on the instant of failure. The trace writers already
+// emit UTC, so for round-tripped logs this is the identity.
 func NewLog(system System, records []Failure) (*Log, error) {
 	if !system.Valid() {
 		return nil, fmt.Errorf("failures: invalid system %d", int(system))
@@ -27,6 +34,7 @@ func NewLog(system System, records []Failure) (*Log, error) {
 		if err := sorted[i].Validate(); err != nil {
 			return nil, err
 		}
+		sorted[i].Time = sorted[i].Time.UTC()
 	}
 	SortByTime(sorted)
 	return &Log{system: system, records: sorted}, nil

@@ -37,6 +37,30 @@ func TestNewLogValidation(t *testing.T) {
 	}
 }
 
+func TestNewLogNormalizesTimesToUTC(t *testing.T) {
+	tokyo := time.FixedZone("JST", 9*3600)
+	records := []Failure{
+		{ID: 1, System: Tsubame2, Time: time.Date(2012, 4, 1, 8, 30, 0, 0, tokyo), Category: CatGPU, GPUs: []int{0}},
+		{ID: 2, System: Tsubame2, Time: ts(100), Category: CatGPU, GPUs: []int{1}},
+	}
+	log, err := NewLog(Tsubame2, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := log.At(0).Time
+	if got.Location() != time.UTC {
+		t.Errorf("occurrence time kept location %v, want UTC", got.Location())
+	}
+	// The instant is preserved: 08:30+09:00 is 23:30 UTC the previous day,
+	// so the month-keyed facets see March, not April.
+	if !got.Equal(records[0].Time) {
+		t.Errorf("normalization changed the instant: %v vs %v", got, records[0].Time)
+	}
+	if got.Month() != time.March {
+		t.Errorf("UTC month = %v, want March", got.Month())
+	}
+}
+
 func TestNewLogSortsAndCopies(t *testing.T) {
 	records := []Failure{
 		{ID: 2, System: Tsubame2, Time: ts(10), Category: CatGPU, GPUs: []int{0}},

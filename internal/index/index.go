@@ -80,10 +80,10 @@ type View struct {
 	catGapsSorted     map[failures.Category][]float64
 	catRecoverySorted map[failures.Category][]float64
 
-	monthlyOnce    sync.Once
-	monthlyRecov   map[time.Month][]float64
-	monthlySorted  map[time.Month][]float64
-	monthlyCounts  map[time.Month]int
+	monthlyOnce   sync.Once
+	monthlyRecov  map[time.Month][]float64
+	monthlySorted map[time.Month][]float64
+	monthlyCounts map[time.Month]int
 
 	hwswOnce   sync.Once
 	hwRecovery []float64

@@ -1,0 +1,100 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/failures"
+	"repro/internal/obs"
+)
+
+// Store is the append-aware form of the index: the substrate of the
+// streaming-ingest service (internal/serve). Where a View is built once
+// over a finished log, a Store accepts record batches over its lifetime
+// and publishes each accepted batch as a new immutable Epoch.
+//
+// The design keeps the battle-tested View untouched: an Epoch is just a
+// sequence number plus a View over the log as of that append, so every
+// facet, memoization rule, and byte-for-byte determinism guarantee of
+// the batch path holds verbatim for snapshot readers. A snapshot taken
+// mid-ingest is exactly index.New over the prefix ingested so far
+// (store_test.go pins this equivalence).
+//
+// Concurrency: Append serializes writers on an internal mutex and
+// publishes the new epoch with one atomic pointer store; Snapshot is a
+// single atomic load, so readers never block, never see a half-built
+// epoch, and keep whatever epoch they hold for as long as they need it.
+// Facet memoization inside the epoch's View is already race-free
+// (per-facet sync.Once), so any number of queries can share one epoch.
+//
+// Cost model: each Append revalidates and re-sorts the full record set
+// through failures.NewLog — O(n log n) on the total ingested count.
+// Callers batch accordingly (the serve ingest endpoint advances the
+// epoch once per request, not once per record).
+type Store struct {
+	mu     sync.Mutex // serializes Append
+	system failures.System
+	tail   []failures.Failure // records in arrival order, committed appends only
+	cur    atomic.Pointer[Epoch]
+}
+
+// Epoch is one immutable published state of a Store: a monotonically
+// increasing sequence number and the View over everything ingested up to
+// that point. Epoch 0 is the empty log.
+type Epoch struct {
+	seq  uint64
+	view *View
+}
+
+// Seq returns the epoch's sequence number. Result caches key on it: two
+// reads with the same (query, Seq) may share a cached result.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// View returns the epoch's immutable index view.
+func (e *Epoch) View() *View { return e.view }
+
+// NewStore returns an empty store for one system's failure stream.
+func NewStore(system failures.System) (*Store, error) {
+	empty, err := failures.NewLog(system, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{system: system}
+	s.cur.Store(&Epoch{seq: 0, view: New(empty)})
+	return s, nil
+}
+
+// System returns the machine generation the store ingests.
+func (s *Store) System() failures.System { return s.system }
+
+// Snapshot returns the current epoch: one atomic load, never blocked by
+// concurrent Append calls.
+func (s *Store) Snapshot() *Epoch { return s.cur.Load() }
+
+// Append validates records, appends them to the store, and publishes the
+// result as a new epoch, which it returns. On validation failure (wrong
+// system, malformed record) the store is unchanged and the current epoch
+// stays published. Appending an empty batch returns the current epoch
+// without advancing it.
+func (s *Store) Append(records []failures.Failure) (*Epoch, error) {
+	if len(records) == 0 {
+		return s.cur.Load(), nil
+	}
+	defer obs.StartSpan("index/append").End()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	combined := make([]failures.Failure, 0, len(s.tail)+len(records))
+	combined = append(combined, s.tail...)
+	combined = append(combined, records...)
+	// NewLog copies, validates, and time-sorts; the store's own tail stays
+	// in arrival order and is only committed once validation passed.
+	log, err := failures.NewLog(s.system, combined)
+	if err != nil {
+		return nil, err
+	}
+	s.tail = combined
+	next := &Epoch{seq: s.cur.Load().seq + 1, view: New(log)}
+	s.cur.Store(next)
+	obs.Add("index/appended_records", int64(len(records)))
+	return next, nil
+}

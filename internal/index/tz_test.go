@@ -1,0 +1,88 @@
+package index_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/trace"
+)
+
+// The same two instants expressed with a +09:00 offset and in UTC. The
+// first failure occurs at 2012-04-01T08:30+09:00 = 2012-03-31T23:30Z, so
+// offset-dependent bucketing would file it under April instead of March.
+const (
+	tzCSVOffset = `id,system,time,recovery_hours,category,node,gpus,software_cause
+1,Tsubame-2,2012-04-01T08:30:00+09:00,1.0000,GPU,n0001,0,
+2,Tsubame-2,2012-05-01T05:00:00+09:00,2.0000,GPU,n0002,1,
+`
+	tzCSVUTC = `id,system,time,recovery_hours,category,node,gpus,software_cause
+1,Tsubame-2,2012-03-31T23:30:00Z,1.0000,GPU,n0001,0,
+2,Tsubame-2,2012-04-30T20:00:00Z,2.0000,GPU,n0002,1,
+`
+	tzNDJSONOffset = `{"id":1,"system":"Tsubame-2","time":"2012-04-01T08:30:00+09:00","recovery_hours":1,"category":"GPU","node":"n0001","gpus":[0]}
+{"id":2,"system":"Tsubame-2","time":"2012-05-01T05:00:00+09:00","recovery_hours":2,"category":"GPU","node":"n0002","gpus":[1]}
+`
+	tzNDJSONUTC = `{"id":1,"system":"Tsubame-2","time":"2012-03-31T23:30:00Z","recovery_hours":1,"category":"GPU","node":"n0001","gpus":[0]}
+{"id":2,"system":"Tsubame-2","time":"2012-04-30T20:00:00Z","recovery_hours":2,"category":"GPU","node":"n0002","gpus":[1]}
+`
+)
+
+// TestMonthlyFacetsOffsetIndependent is the regression test for the
+// timezone bug: the trace writers emit UTC but RFC 3339 parsing preserves
+// source offsets, so before failures.NewLog normalized occurrence times
+// to UTC, buildMonthly bucketed the same instant into different months
+// depending on the offset the input was exported with.
+func TestMonthlyFacetsOffsetIndependent(t *testing.T) {
+	cases := []struct {
+		name, offset, utc, format string
+	}{
+		{"csv", tzCSVOffset, tzCSVUTC, "csv"},
+		{"ndjson", tzNDJSONOffset, tzNDJSONUTC, "ndjson"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			read := func(in string) *index.View {
+				t.Helper()
+				parse := trace.ReadCSV
+				if tt.format == "ndjson" {
+					parse = trace.ReadNDJSON
+				}
+				l, err := parse(strings.NewReader(in))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return index.New(l)
+			}
+			off, utc := read(tt.offset), read(tt.utc)
+			offCounts, utcCounts := off.MonthlyCounts(), utc.MonthlyCounts()
+			if len(offCounts) != len(utcCounts) {
+				t.Fatalf("month sets differ: offset %v, UTC %v", offCounts, utcCounts)
+			}
+			for m, n := range utcCounts {
+				if offCounts[m] != n {
+					t.Errorf("month %v: offset form has %d failures, UTC form %d", m, offCounts[m], n)
+				}
+			}
+			// The instants themselves must agree too: same interarrival
+			// gaps, same recovery series, same monthly recovery buckets.
+			for m, utcRecov := range utc.MonthlyRecoveryHours() {
+				offRecov := off.MonthlyRecoveryHours()[m]
+				if len(offRecov) != len(utcRecov) {
+					t.Fatalf("month %v recovery series differ: %v vs %v", m, offRecov, utcRecov)
+				}
+				for i := range utcRecov {
+					if offRecov[i] != utcRecov[i] {
+						t.Errorf("month %v recovery[%d]: %v vs %v", m, i, offRecov[i], utcRecov[i])
+					}
+				}
+			}
+			wantGaps, gotGaps := utc.InterarrivalHours(), off.InterarrivalHours()
+			for i := range wantGaps {
+				if gotGaps[i] != wantGaps[i] {
+					t.Errorf("gap %d: %v vs %v", i, gotGaps[i], wantGaps[i])
+				}
+			}
+		})
+	}
+}

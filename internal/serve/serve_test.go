@@ -1,0 +1,404 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failures"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/textreport"
+	"repro/internal/trace"
+)
+
+func newServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	if cfg.System == 0 {
+		cfg.System = failures.Tsubame2
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func do(t *testing.T, h http.Handler, method, path string, body []byte) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+func mustIngest(t *testing.T, h http.Handler, chunk []byte) serve.IngestResponse {
+	t.Helper()
+	status, body := do(t, h, http.MethodPost, "/v1/ingest", chunk)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+	var resp serve.IngestResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("ingest response: %v", err)
+	}
+	return resp
+}
+
+// seedNDJSON renders the seed-42 Tsubame-2 log as NDJSON and returns it
+// with the line offset splitting it into two mid-stream chunks.
+func seedNDJSON(t *testing.T) (full []byte, splitAt int) {
+	t.Helper()
+	log, err := synth.Generate(synth.Tsubame2Profile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), 400
+}
+
+func chunks(full []byte, splitAt int) (first, second []byte) {
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	return bytes.Join(lines[:splitAt], nil), bytes.Join(lines[splitAt:], nil)
+}
+
+// TestQueriesMatchBatchCLIBytes is the service's headline contract: the
+// query endpoints return exactly the bytes the batch CLIs print for the
+// same records — mid-ingest over the streamed prefix, and after the
+// final chunk over the full log.
+func TestQueriesMatchBatchCLIBytes(t *testing.T) {
+	full, splitAt := seedNDJSON(t)
+	first, second := chunks(full, splitAt)
+	s := newServer(t, serve.Config{Parallelism: 1})
+	h := s.Handler()
+
+	expect := func(raw []byte, path string) []byte {
+		t.Helper()
+		log, err := trace.ReadNDJSON(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		switch {
+		case path == "/v1/analyze":
+			study, err := core.Run(log, core.Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			textreport.Analyze(&buf, study, log)
+		case path == "/v1/digest":
+			if _, err := textreport.Digest(&buf, log, textreport.DefaultDigestFrom(log, 30), 30); err != nil {
+				t.Fatal(err)
+			}
+		case path == "/v1/diff":
+			before, after := log.SplitFraction(0.5)
+			d, err := core.DiffPeriods(before, after)
+			if err != nil {
+				t.Fatal(err)
+			}
+			textreport.Diff(&buf, log.System(), d, 0.05)
+		case path == "/v1/fit":
+			textreport.Fit(&buf, log, 10, 1)
+		default:
+			t.Fatalf("no expectation builder for %s", path)
+		}
+		return buf.Bytes()
+	}
+
+	check := func(ingested []byte, path string) {
+		t.Helper()
+		status, got := do(t, h, http.MethodGet, path, nil)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, status, got)
+		}
+		if want := expect(ingested, path); !bytes.Equal(got, want) {
+			t.Errorf("%s response differs from batch CLI bytes over the same records\n got %d bytes\nwant %d bytes", path, len(got), len(want))
+		}
+	}
+
+	resp := mustIngest(t, h, first)
+	if resp.Epoch != 1 {
+		t.Fatalf("first chunk published epoch %d, want 1", resp.Epoch)
+	}
+	// Mid-ingest: the snapshot serves exactly the streamed prefix.
+	check(first, "/v1/analyze")
+	check(first, "/v1/digest")
+
+	resp = mustIngest(t, h, second)
+	if resp.Epoch != 2 {
+		t.Fatalf("second chunk published epoch %d, want 2", resp.Epoch)
+	}
+	if resp.TotalRecords != 897 {
+		t.Fatalf("total records %d after full stream, want 897", resp.TotalRecords)
+	}
+	check(full, "/v1/analyze")
+	check(full, "/v1/digest")
+	check(full, "/v1/diff")
+	check(full, "/v1/fit")
+}
+
+// TestIngestAtomicOnBadLine pins batch atomicity and line-numbered
+// diagnostics: a malformed line rejects the whole request, names the
+// true line of the request body, and publishes nothing.
+func TestIngestAtomicOnBadLine(t *testing.T) {
+	full, _ := seedNDJSON(t)
+	first, _ := chunks(full, 10)
+	s := newServer(t, serve.Config{})
+	h := s.Handler()
+
+	// Lines: 1-10 valid, 11 blank, 12 malformed.
+	bad := append(append([]byte{}, first...), []byte("\n{nope}\n")...)
+	status, body := do(t, h, http.MethodPost, "/v1/ingest", bad)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, body)
+	}
+	if !strings.Contains(string(body), "line 12") {
+		t.Fatalf("error does not name line 12: %s", body)
+	}
+	var st serve.StatusResponse
+	_, stBody := do(t, h, http.MethodGet, "/v1/status", nil)
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 0 || st.Epoch != 0 {
+		t.Fatalf("rejected batch left state: %+v", st)
+	}
+}
+
+// TestIngestRejectsWrongSystem pins validation-level atomicity: records
+// parsing cleanly but belonging to another system reject the batch.
+func TestIngestRejectsWrongSystem(t *testing.T) {
+	s := newServer(t, serve.Config{System: failures.Tsubame3})
+	full, _ := seedNDJSON(t) // Tsubame-2 records
+	first, _ := chunks(full, 5)
+	status, body := do(t, s.Handler(), http.MethodPost, "/v1/ingest", first)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, body)
+	}
+}
+
+// TestIngestBodyLimit413 pins the body-size guard.
+func TestIngestBodyLimit413(t *testing.T) {
+	full, _ := seedNDJSON(t)
+	first, _ := chunks(full, 50)
+	s := newServer(t, serve.Config{MaxBodyBytes: 1024})
+	status, body := do(t, s.Handler(), http.MethodPost, "/v1/ingest", first)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", status, body)
+	}
+	if !strings.Contains(string(body), "1024-byte ingest limit") {
+		t.Fatalf("413 body does not name the limit: %s", body)
+	}
+}
+
+// TestIngestLineLimit413 pins the line-length guard and that its message
+// names the offending line.
+func TestIngestLineLimit413(t *testing.T) {
+	full, _ := seedNDJSON(t)
+	first, _ := chunks(full, 2)
+	long := append(append([]byte{}, first...), bytes.Repeat([]byte("x"), 4096)...)
+	s := newServer(t, serve.Config{MaxLineBytes: 512})
+	status, body := do(t, s.Handler(), http.MethodPost, "/v1/ingest", long)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", status, body)
+	}
+	if !strings.Contains(string(body), "line 3") || !strings.Contains(string(body), "512-byte line limit") {
+		t.Fatalf("413 body does not name line 3 and the limit: %s", body)
+	}
+}
+
+// TestQueryCachePerEpoch pins the cache contract: one build per
+// (endpoint, params, epoch), a hit for every repeat, and invalidation on
+// epoch advance.
+func TestQueryCachePerEpoch(t *testing.T) {
+	obs.Reset()
+	obs.Enable(true)
+	defer func() {
+		obs.Enable(false)
+		obs.Reset()
+	}()
+
+	full, splitAt := seedNDJSON(t)
+	first, second := chunks(full, splitAt)
+	s := newServer(t, serve.Config{Parallelism: 1})
+	h := s.Handler()
+	mustIngest(t, h, first)
+
+	counters := func() (hits, misses int64) {
+		snap := obs.Take()
+		return snap.Counters["serve/cache_hits"], snap.Counters["serve/cache_misses"]
+	}
+
+	_, firstBody := do(t, h, http.MethodGet, "/v1/analyze", nil)
+	if hits, misses := counters(); hits != 0 || misses != 1 {
+		t.Fatalf("after first query: hits %d misses %d, want 0/1", hits, misses)
+	}
+	_, repeatBody := do(t, h, http.MethodGet, "/v1/analyze", nil)
+	if hits, misses := counters(); hits != 1 || misses != 1 {
+		t.Fatalf("after repeat query: hits %d misses %d, want 1/1", hits, misses)
+	}
+	if !bytes.Equal(firstBody, repeatBody) {
+		t.Fatal("cached response differs from first build")
+	}
+	// Different params are a separate entry.
+	do(t, h, http.MethodGet, "/v1/digest?days=7", nil)
+	do(t, h, http.MethodGet, "/v1/digest?days=14", nil)
+	if hits, misses := counters(); hits != 1 || misses != 3 {
+		t.Fatalf("after digest variants: hits %d misses %d, want 1/3", hits, misses)
+	}
+
+	// An epoch advance invalidates everything.
+	mustIngest(t, h, second)
+	_, afterBody := do(t, h, http.MethodGet, "/v1/analyze", nil)
+	if hits, misses := counters(); hits != 1 || misses != 4 {
+		t.Fatalf("after epoch advance: hits %d misses %d, want 1/4", hits, misses)
+	}
+	if bytes.Equal(firstBody, afterBody) {
+		t.Fatal("analyze response unchanged after ingesting the second chunk")
+	}
+}
+
+// TestQueryBadParams pins 400s for malformed query parameters.
+// TestCachedQuerySteadyStateAllocs bounds the steady-state query hot
+// path: once an epoch's report is cached, serving it is a snapshot
+// load, a map lookup, and a buffer write. A budget of 100 allocations
+// per request (the recorder and request fixtures included; currently
+// ~26) catches an accidental per-request rebuild, which would show up
+// as thousands.
+func TestCachedQuerySteadyStateAllocs(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	h := srv.Handler()
+	full, _ := seedNDJSON(t)
+	mustIngest(t, h, full)
+	if status, body := do(t, h, http.MethodGet, "/v1/digest?days=30", nil); status != http.StatusOK {
+		t.Fatalf("warm-up query: status %d: %s", status, body)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/digest?days=30", nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("query: status %d: %s", rec.Code, rec.Body)
+		}
+	})
+	if allocs > 100 {
+		t.Errorf("cached query allocates %.0f times per request, want <= 100 (cache hit path regressed)", allocs)
+	}
+}
+
+func TestQueryBadParams(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	h := s.Handler()
+	for _, path := range []string{
+		"/v1/digest?days=abc",
+		"/v1/digest?days=0",
+		"/v1/digest?from=yesterday",
+		"/v1/diff?alpha=2",
+		"/v1/diff?split=mid",
+		"/v1/fit?min=-1",
+	} {
+		if status, body := do(t, h, http.MethodGet, path, nil); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", path, status, body)
+		}
+	}
+}
+
+// TestQueryEmptyStore pins that analysis of a store with too few records
+// is a clean 422, not a panic or empty 200.
+func TestQueryEmptyStore(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	h := s.Handler()
+	for _, path := range []string{"/v1/analyze", "/v1/digest", "/v1/diff"} {
+		status, body := do(t, h, http.MethodGet, path, nil)
+		if status != http.StatusUnprocessableEntity {
+			t.Errorf("%s on empty store: status %d, want 422: %s", path, status, body)
+		}
+	}
+	if status, _ := do(t, h, http.MethodGet, "/v1/status", nil); status != http.StatusOK {
+		t.Errorf("status endpoint should work on an empty store, got %d", status)
+	}
+}
+
+// TestMethodNotAllowed pins the mux's method discipline.
+func TestMethodNotAllowed(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	h := s.Handler()
+	if status, _ := do(t, h, http.MethodGet, "/v1/ingest", nil); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/ingest: status %d, want 405", status)
+	}
+	if status, _ := do(t, h, http.MethodPost, "/v1/analyze", nil); status != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/analyze: status %d, want 405", status)
+	}
+}
+
+// TestConcurrentIngestAndQueries race-certifies the service end to end:
+// sustained chunked ingest with concurrent query clients, under -race
+// via the tier-1 race target. Every query must see a consistent epoch —
+// a 200 report or, never, a torn response or 5xx.
+func TestConcurrentIngestAndQueries(t *testing.T) {
+	full, _ := seedNDJSON(t)
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	s := newServer(t, serve.Config{Parallelism: 1})
+	h := s.Handler()
+
+	// Seed enough records that analyze always has work to do.
+	mustIngest(t, h, bytes.Join(lines[:100], nil))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	stop := make(chan struct{})
+	paths := []string{"/v1/analyze", "/v1/digest", "/v1/digest?days=60", "/v1/status"}
+	for i, path := range paths {
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func(path string, id int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					status, body := do(t, h, http.MethodGet, path, nil)
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("%s: status %d: %s", path, status, body)
+						return
+					}
+				}
+			}(path, i*2+c)
+		}
+	}
+
+	const batch = 50
+	for at := 100; at < len(lines); at += batch {
+		end := at + batch
+		if end > len(lines) {
+			end = len(lines)
+		}
+		mustIngest(t, h, bytes.Join(lines[at:end], nil))
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	var st serve.StatusResponse
+	_, stBody := do(t, h, http.MethodGet, "/v1/status", nil)
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 897 {
+		t.Fatalf("final record count %d, want 897", st.Records)
+	}
+}

@@ -1,0 +1,284 @@
+// Package textreport assembles the complete text reports emitted by the
+// analysis CLIs (tsubame-analyze, tsubame-digest, tsubame-diff,
+// tsubame-fit). Each function writes the exact bytes the corresponding
+// command prints, so any front end that shares this package — the CLIs
+// writing to stdout, the tsubame-serve query endpoints writing to HTTP
+// response bodies — produces byte-identical reports by construction.
+// The e2e goldens pin these bytes; treat any diff here as a contract
+// change.
+package textreport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/failures"
+	"repro/internal/report"
+)
+
+// analyzeFigures are the single-system figures the analyze report
+// renders, in paper order (figures 6 and 9 compare systems and belong to
+// tsubame-report).
+var analyzeFigures = []func(*core.Study) string{
+	report.Fig2, report.Fig3, report.Fig4, report.Fig5, report.Fig7,
+	report.Fig8, report.Fig10, report.Fig11, report.Fig12,
+}
+
+// Analyze writes the tsubame-analyze report for a study of log: headline
+// window, every single-system figure, MTBF/MTTR/PEP summary, and the
+// best-effort extension analyses (spatial concentration, card survival,
+// rolling reliability, per-category TTR significance) when the log
+// carries what they need.
+func Analyze(w io.Writer, study *core.Study, log *failures.Log) {
+	fmt.Fprintf(w, "Analyzed %d failures on %v over %.0f days.\n\n", study.Records, study.System, study.SpanDays)
+	for _, fig := range analyzeFigures {
+		if s := fig(study); s != "" {
+			fmt.Fprintln(w, s)
+		}
+	}
+	fmt.Fprintf(w, "MTBF %.1f h (p75 %.1f h); MTTR %.1f h (max %.0f h).\n",
+		study.TBF.MTBFHours, study.TBF.P75, study.TTR.MTTRHours, study.TTR.MaxHours)
+	fmt.Fprintf(w, "Performance-error-proportionality: %.3f ZFLOP per MTBF window.\n\n", study.PEP.FLOPPerMTBF)
+
+	// Extension analyses (spatial concentration, card survival, rolling
+	// reliability) when the log carries the needed attribution.
+	if study.Spatial != nil {
+		fmt.Fprintln(w, report.SpatialTable(study))
+	}
+	if study.Survival != nil {
+		fmt.Fprintf(w, "GPU cards: %d of %d saw a failure; one-year card survival %.1f%%.\n",
+			study.Survival.Failed, study.Survival.Cards, 100*study.Survival.SurvivalAtOneYear)
+	}
+	if series, err := core.RollingMTBF(log, 90, 45); err == nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, report.RollingChart("Rolling 90-day MTBF.", series))
+	}
+	if rows, err := core.TTRSignificanceByCategory(log, 10); err == nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, report.SignificanceTable(study.System.String(), rows))
+	}
+}
+
+// DefaultDigestFrom returns the digest period start used when the caller
+// does not name one: days before the log's last failure.
+func DefaultDigestFrom(log *failures.Log, days int) time.Time {
+	_, logEnd, _ := log.Window()
+	return logEnd.AddDate(0, 0, -days)
+}
+
+// Digest writes the tsubame-digest operations report for the period
+// [from, from+days) of log, returning the number of records in the
+// period (the callers' manifests record it). An empty period is an
+// error; nothing is written then.
+func Digest(w io.Writer, log *failures.Log, from time.Time, days int) (periodRecords int, err error) {
+	to := from.AddDate(0, 0, days)
+	history, restAfter := log.SplitAt(from)
+	period, _ := restAfter.SplitAt(to)
+	if period.Len() == 0 {
+		return 0, fmt.Errorf("no failures between %s and %s", from.Format("2006-01-02"), to.Format("2006-01-02"))
+	}
+
+	fmt.Fprintf(w, "Operations digest: %v, %s .. %s (%d days)\n\n",
+		log.System(), from.Format("2006-01-02"), to.Format("2006-01-02"), days)
+
+	// Headline counts and period-over-history comparison.
+	fmt.Fprintf(w, "Failures this period: %d", period.Len())
+	if history.Len() > 1 {
+		historyDays := history.Span().Hours() / 24
+		if historyDays > 0 {
+			expected := float64(history.Len()) / historyDays * float64(days)
+			fmt.Fprintf(w, " (history-rate expectation: %.0f)", expected)
+		}
+	}
+	fmt.Fprintln(w)
+	if mttr, ok := period.MTTRHours(); ok {
+		histMTTR, _ := history.MTTRHours()
+		fmt.Fprintf(w, "MTTR this period: %.1f h (history: %.1f h)\n", mttr, histMTTR)
+	}
+	if mtbf, ok := period.MTBFHours(); ok {
+		fmt.Fprintf(w, "MTBF this period: %.1f h\n", mtbf)
+	}
+
+	// Category mix of the period.
+	fmt.Fprintln(w, "\nFailures by category:")
+	byCat := period.ByCategory()
+	type catRow struct {
+		cat failures.Category
+		n   int
+	}
+	var rows []catRow
+	for cat, n := range byCat {
+		rows = append(rows, catRow{cat, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].cat < rows[j].cat
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %d\n", r.cat, r.n)
+	}
+
+	// Worst nodes of the period.
+	byNode := period.ByNode()
+	type nodeRow struct {
+		node string
+		n    int
+	}
+	var nodes []nodeRow
+	for node, n := range byNode {
+		if n >= 2 {
+			nodes = append(nodes, nodeRow{node, n})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].n != nodes[j].n {
+			return nodes[i].n > nodes[j].n
+		}
+		return nodes[i].node < nodes[j].node
+	})
+	if len(nodes) > 0 {
+		fmt.Fprintln(w, "\nRepeat-offender nodes (2+ failures this period):")
+		for i, r := range nodes {
+			if i == 10 {
+				fmt.Fprintf(w, "  ... and %d more\n", len(nodes)-10)
+				break
+			}
+			fmt.Fprintf(w, "  %-8s %d failures\n", r.node, r.n)
+		}
+	}
+
+	// Longest repairs of the period.
+	records := period.Records()
+	sort.Slice(records, func(i, j int) bool { return records[i].Recovery > records[j].Recovery })
+	fmt.Fprintln(w, "\nLongest repairs:")
+	for i, r := range records {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(w, "  %-14s %6.1f h  (node %s, %s)\n",
+			r.Category, r.Recovery.Hours(), orDash(r.Node), r.Time.Format("2006-01-02"))
+	}
+
+	// Multi-GPU alarm state at the period end.
+	multi := period.Filter(func(f failures.Failure) bool { return f.MultiGPU() })
+	if multi.Len() > 0 {
+		_, lastMulti, _ := multi.Window()
+		fmt.Fprintf(w, "\nMulti-GPU failures this period: %d (last on %s).\n",
+			multi.Len(), lastMulti.Format("2006-01-02"))
+		if to.Sub(lastMulti) <= 72*time.Hour {
+			fmt.Fprintln(w, "ALERT: inside the 72 h multi-GPU clustering window — expect follow-ups (Figure 8).")
+		}
+	}
+	return period.Len(), nil
+}
+
+// Diff writes the tsubame-diff period-comparison report for a computed
+// diff on system, with alpha the significance level of the improvement
+// verdict.
+func Diff(w io.Writer, system failures.System, d *core.PeriodDiff, alpha float64) {
+	fmt.Fprintf(w, "Period diff on %v: %d failures before, %d after.\n\n",
+		system, d.BeforeFailures, d.AfterFailures)
+	fmt.Fprintf(w, "%-28s %10s %10s\n", "", "before", "after")
+	fmt.Fprintf(w, "%-28s %10d %10d\n", "failures", d.BeforeFailures, d.AfterFailures)
+	fmt.Fprintf(w, "%-28s %10.1f %10.1f\n", "MTTR (h)", d.MTTRBefore, d.MTTRAfter)
+	fmt.Fprintf(w, "\nfailure-rate ratio (after/before): %.2f\n", d.FailureRateRatio)
+	fmt.Fprintf(w, "TBF shift: Mann-Whitney p = %.4f\n", d.TBFShiftP)
+	fmt.Fprintf(w, "TTR shift: Mann-Whitney p = %.4f\n", d.TTRShiftP)
+	if d.Improved(alpha) {
+		fmt.Fprintf(w, "Verdict: reliability improved (alpha %.2f).\n", alpha)
+	} else {
+		fmt.Fprintf(w, "Verdict: no statistically backed improvement (alpha %.2f).\n", alpha)
+	}
+
+	fmt.Fprintln(w, "\nLargest category-share movements:")
+	for i, r := range d.Drift {
+		if i == 8 {
+			break
+		}
+		fmt.Fprintf(w, "  %-14s %+6.2f%%  (%.2f%% -> %.2f%%)\n", r.Category, r.Delta, r.OldPercent, r.NewPercent)
+	}
+}
+
+// Fit writes the tsubame-fit distribution report for log: system-wide
+// and per-category (at least minCount records) TBF and TTR samples are
+// fitted concurrently on a pool of width parallelism; the report order
+// is fixed regardless of parallelism.
+func Fit(w io.Writer, log *failures.Log, minCount, parallelism int) {
+	// Assemble every sample first, then fit the whole batch on the pool.
+	titles := []string{
+		"System-wide time between failures",
+		"System-wide time to recovery",
+	}
+	samples := [][]float64{
+		positiveOnly(log.InterarrivalHours()),
+		positiveOnly(log.RecoveryHours()),
+	}
+	counts := log.ByCategory()
+	cats := make([]failures.Category, 0, len(counts))
+	for cat, n := range counts {
+		if n >= minCount {
+			cats = append(cats, cat)
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if counts[cats[i]] != counts[cats[j]] {
+			return counts[cats[i]] > counts[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	for _, cat := range cats {
+		cat := cat
+		sub := log.Filter(func(f failures.Failure) bool { return f.Category == cat })
+		titles = append(titles,
+			fmt.Sprintf("%s (%d records) time between failures", cat, sub.Len()),
+			fmt.Sprintf("%s time to recovery", cat))
+		samples = append(samples,
+			positiveOnly(sub.InterarrivalHours()),
+			positiveOnly(sub.RecoveryHours()))
+	}
+
+	fitted := dist.FitAllMany(samples, parallelism)
+
+	fmt.Fprintf(w, "Distribution fits for %v (%d records).\n", log.System(), log.Len())
+	for i, sf := range fitted {
+		fmt.Fprintf(w, "\n%s:\n", titles[i])
+		printFits(w, sf)
+	}
+}
+
+func printFits(w io.Writer, sf dist.SampleFits) {
+	if sf.Err != nil {
+		fmt.Fprintf(w, "  (no fit: %v)\n", sf.Err)
+		return
+	}
+	for i, fit := range sf.Fits {
+		marker := " "
+		if i == 0 {
+			marker = "*" // best by KS
+		}
+		fmt.Fprintf(w, "  %s %-12s %-38s KS=%.4f AIC=%.1f\n", marker, fit.Name, fit.Dist, fit.KS, fit.AIC)
+	}
+}
+
+func positiveOnly(sample []float64) []float64 {
+	positive := sample[:0:0]
+	for _, x := range sample {
+		if x > 0 {
+			positive = append(positive, x)
+		}
+	}
+	return positive
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -68,6 +69,12 @@ func WriteNDJSON(w io.Writer, log *failures.Log) error {
 // As with ReadCSV, the input is slurped into a pooled buffer and the
 // record slice pre-sized from its line count: one input read, one
 // record-slice allocation.
+//
+// Parse errors name the actual file line of the offending input. The
+// decoder used to report a "record N" counted over decoded values, which
+// drifts from the real line number as soon as the input contains blank
+// lines; error positions are now recovered from the decoder's byte
+// offset, so the message points at the line an editor would open.
 func ReadNDJSON(r io.Reader) (*failures.Log, error) {
 	defer obs.StartSpan("trace/read-ndjson").End()
 	buf, err := slurp(r)
@@ -82,38 +89,22 @@ func ReadNDJSON(r io.Reader) (*failures.Log, error) {
 	obs.Add("trace/ndjson_rows", int64(lines))
 	records := make([]failures.Failure, 0, lines)
 	var system failures.System
-	for line := 1; ; line++ {
+	for {
+		recStart := dec.InputOffset()
 		var rec jsonRecord
 		if err := dec.Decode(&rec); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("trace: decoding NDJSON record %d: %w", line, err)
+			return nil, fmt.Errorf("trace: decoding NDJSON line %d: %w", errorLine(data, dec, err), err)
 		}
-		sys, err := failures.ParseSystem(rec.System)
+		f, err := recordFromWire(rec)
 		if err != nil {
-			return nil, fmt.Errorf("trace: NDJSON record %d: %w", line, err)
-		}
-		category, err := failures.ParseCategory(sys, rec.Category)
-		if err != nil {
-			return nil, fmt.Errorf("trace: NDJSON record %d: %w", line, err)
-		}
-		recovery, err := durationFromHours(rec.RecoveryHours)
-		if err != nil {
-			return nil, fmt.Errorf("trace: NDJSON record %d: %w", line, err)
+			return nil, fmt.Errorf("trace: NDJSON line %d: %w", recordLine(data, recStart), err)
 		}
 		if system == 0 {
-			system = sys
+			system = f.System
 		}
-		records = append(records, failures.Failure{
-			ID:            rec.ID,
-			System:        sys,
-			Time:          rec.Time,
-			Recovery:      recovery,
-			Category:      category,
-			Node:          rec.Node,
-			GPUs:          rec.GPUs,
-			SoftwareCause: failures.SoftwareCause(rec.SoftwareCause),
-		})
+		records = append(records, f)
 	}
 	if len(records) == 0 {
 		return nil, fmt.Errorf("trace: NDJSON contains no records")
@@ -123,4 +114,84 @@ func ReadNDJSON(r io.Reader) (*failures.Log, error) {
 		return nil, fmt.Errorf("trace: validating NDJSON log: %w", err)
 	}
 	return log, nil
+}
+
+// ParseNDJSONRecord parses one NDJSON wire line into a Failure. It is the
+// per-line kernel behind ReadNDJSON, exported for streaming ingest paths
+// (internal/serve) that read request bodies line by line under their own
+// size limits instead of slurping.
+func ParseNDJSONRecord(line []byte) (failures.Failure, error) {
+	var rec jsonRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return failures.Failure{}, err
+	}
+	return recordFromWire(rec)
+}
+
+// recordFromWire converts a decoded wire record into the domain form,
+// resolving the enum fields and the exact duration preimage of the
+// recovery hours.
+func recordFromWire(rec jsonRecord) (failures.Failure, error) {
+	sys, err := failures.ParseSystem(rec.System)
+	if err != nil {
+		return failures.Failure{}, err
+	}
+	category, err := failures.ParseCategory(sys, rec.Category)
+	if err != nil {
+		return failures.Failure{}, err
+	}
+	recovery, err := durationFromHours(rec.RecoveryHours)
+	if err != nil {
+		return failures.Failure{}, err
+	}
+	return failures.Failure{
+		ID:            rec.ID,
+		System:        sys,
+		Time:          rec.Time,
+		Recovery:      recovery,
+		Category:      category,
+		Node:          rec.Node,
+		GPUs:          rec.GPUs,
+		SoftwareCause: failures.SoftwareCause(rec.SoftwareCause),
+	}, nil
+}
+
+// lineAt returns the 1-based line number containing byte offset off.
+func lineAt(data []byte, off int64) int {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	return 1 + bytes.Count(data[:off], []byte{'\n'})
+}
+
+// errorLine locates a decode error: JSON syntax and type errors carry the
+// byte offset where they occurred; anything else (truncated input) is
+// attributed to the decoder's current position.
+func errorLine(data []byte, dec *json.Decoder, err error) int {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return lineAt(data, syn.Offset)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return lineAt(data, typ.Offset)
+	}
+	return lineAt(data, dec.InputOffset())
+}
+
+// recordLine returns the line on which the record decoded from offset
+// recStart begins: the decoder's offset points at the end of the previous
+// value, so the record itself starts at the first non-whitespace byte
+// after it (skipping the blank lines in between).
+func recordLine(data []byte, recStart int64) int {
+	i := recStart
+	for i < int64(len(data)) {
+		switch data[i] {
+		case ' ', '\t', '\r', '\n':
+			i++
+		default:
+			return lineAt(data, i+1)
+		}
+	}
+	return lineAt(data, i)
 }
