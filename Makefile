@@ -101,12 +101,13 @@ profile-gen:
 	$(GO) test -bench='^BenchmarkPerfGenerateEncode100k$$' -benchtime=20x -run='^$$' \
 		-cpuprofile PROFILE_gen_cpu.out -memprofile PROFILE_gen_mem.out .
 
-## fuzz-smoke: 30 seconds of coverage-guided fuzzing on the trace
+## fuzz-smoke: 45 seconds of coverage-guided fuzzing on the trace
 ## parsers, 15 s per target. Go permits one -fuzz target per invocation,
-## so the two targets run back to back.
+## so the targets run back to back.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=15s -run='^$$' ./internal/trace/
 	$(GO) test -fuzz='^FuzzReadNDJSON$$' -fuzztime=15s -run='^$$' ./internal/trace/
+	$(GO) test -fuzz='^FuzzParseNDJSONRecord$$' -fuzztime=15s -run='^$$' ./internal/trace/
 
 ## conform: the statistical conformance gate — generate both systems
 ## across the canonical 32-seed set and check every published statistic

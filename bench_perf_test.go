@@ -571,3 +571,55 @@ func BenchmarkPerfServeMixed100k(b *testing.B) {
 		b.ReportMetric(float64(len(latencies))/float64(b.N), "queries/op")
 	}
 }
+
+// BenchmarkPerfServeIngestSteady is the steady-state ingest gate: a
+// server already holding the 100k-record log, held there by MaxRecords
+// retention, absorbing an endless stream of small tail batches — the
+// live-monitoring shape tsubame-serve is built for. Each op renders one
+// 512-record batch (the O(batch) client side) and POSTs it through the
+// handler: NDJSON parse, batch-only validate+sort, tail-merge into the
+// committed log, eviction of the displaced head, epoch publish. The
+// property this gate defends is that per-batch cost is a function of
+// the batch alone, not of the 100k resident records — the old append
+// path revalidated and re-sorted the entire log on every batch.
+func BenchmarkPerfServeIngestSteady(b *testing.B) {
+	resident := perfLog(b)
+	srv, err := serve.New(serve.Config{System: failures.Tsubame3, MaxRecords: resident.Len()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	if rec := perfServeDo(h, http.MethodPost, "/v1/ingest", perfNDJSONBytes(b)); rec.Code != http.StatusOK {
+		b.Fatalf("seed ingest: status %d: %s", rec.Code, rec.Body)
+	}
+
+	const batchSize = 512
+	template := resident.At(resident.Len() - 1)
+	cursor := template.Time
+	nextID := 1_000_000
+	recs := make([]failures.Failure, batchSize)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range recs {
+			r := template
+			cursor = cursor.Add(time.Minute)
+			nextID++
+			r.Time, r.ID = cursor, nextID
+			recs[j] = r
+		}
+		batch, err := failures.NewLog(failures.Tsubame3, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		if err := trace.WriteNDJSON(&buf, batch); err != nil {
+			b.Fatal(err)
+		}
+		if rec := perfServeDo(h, http.MethodPost, "/v1/ingest", buf.Bytes()); rec.Code != http.StatusOK {
+			b.Fatalf("ingest: status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(batchSize, "records/op")
+}

@@ -43,6 +43,8 @@ func main() {
 		maxBody    = flag.Int("max-body", serve.DefaultMaxBodyBytes, "maximum ingest request body in bytes")
 		maxLine    = flag.Int("max-line", serve.DefaultMaxLineBytes, "maximum NDJSON line length in bytes")
 		para       = flag.Int("parallel", 0, "analysis worker-pool width per query (0 = all cores)")
+		maxRecords = flag.Int("max-records", 0, "retain at most this many newest records (0 = unlimited)")
+		maxAge     = flag.Duration("max-age", 0, "retain records within this window of the newest record's time (0 = unlimited)")
 		manifest   = cli.ManifestFlag()
 		debugAddr  = cli.DebugAddrFlag()
 	)
@@ -51,6 +53,8 @@ func main() {
 		cli.PositiveInt("max-body", *maxBody),
 		cli.PositiveInt("max-line", *maxLine),
 		cli.NonNegativeInt("parallel", *para),
+		cli.NonNegativeInt("max-records", *maxRecords),
+		cli.NonNegativeDuration("max-age", *maxAge),
 	)
 	system, err := cli.ParseSystem(*systemName)
 	if err != nil {
@@ -66,6 +70,8 @@ func main() {
 		MaxBodyBytes: int64(*maxBody),
 		MaxLineBytes: *maxLine,
 		Parallelism:  *para,
+		MaxRecords:   *maxRecords,
+		MaxAge:       *maxAge,
 	})
 	if err != nil {
 		log.Fatal(err)

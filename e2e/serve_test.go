@@ -156,6 +156,93 @@ func TestServeCLI(t *testing.T) {
 	stop() // SIGINT must drain and exit 0 (asserted inside stop)
 }
 
+// TestServeCLISteadyIngest streams the committed trace as many small
+// batches — the steady-state live-monitoring shape the merge-based
+// append exists for — with digest queries interleaved so epochs are
+// materialized (and their facets delta-maintained) mid-stream, then
+// pins the fully-ingested analyze and digest responses to the same
+// goldens as the two-chunk smoke: however the stream is split, the
+// final epoch is byte-identical.
+func TestServeCLISteadyIngest(t *testing.T) {
+	trace, err := os.ReadFile(filepath.Join("testdata", "t2-seed42.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(trace, []byte("\n"))
+
+	baseURL, _ := startServe(t, "-system", "t2", "-parallel", "1")
+
+	const batch = 30
+	batches := 0
+	for at := 0; at < len(lines); at += batch {
+		end := at + batch
+		if end > len(lines) {
+			end = len(lines)
+		}
+		body := bytes.Join(lines[at:end], nil)
+		if len(bytes.TrimSpace(body)) == 0 {
+			continue
+		}
+		status, resp := httpPost(t, baseURL+"/v1/ingest", body)
+		if status != http.StatusOK {
+			t.Fatalf("ingest at line %d: status %d: %s", at, status, resp)
+		}
+		batches++
+		if batches%5 == 0 {
+			if status, resp := httpGet(t, baseURL+"/v1/digest?days=30"); status != http.StatusOK {
+				t.Fatalf("mid-stream digest after batch %d: status %d: %s", batches, status, resp)
+			}
+		}
+	}
+	if batches < 20 {
+		t.Fatalf("trace split into only %d batches; steady-state shape not exercised", batches)
+	}
+
+	goldens := []struct {
+		path, golden string
+	}{
+		{"/v1/analyze", "analyze.golden"},
+		{"/v1/digest?days=30", "digest.golden"},
+	}
+	for _, g := range goldens {
+		status, got := httpGet(t, baseURL+g.path)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", g.path, status, got)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", g.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s diverged from %s after %d-batch ingest\nfirst divergence: %s",
+				g.path, g.golden, batches, firstDiff(string(want), string(got)))
+		}
+	}
+}
+
+// TestServeCLIRetentionFlags boots with the retention flags and checks
+// eviction is reported on ingest and reflected by /v1/status: the
+// resident log is capped at -max-records while the server keeps
+// answering.
+func TestServeCLIRetentionFlags(t *testing.T) {
+	trace, err := os.ReadFile(filepath.Join("testdata", "t2-seed42.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseURL, _ := startServe(t, "-system", "t2", "-max-records", "500", "-max-age", "87600h")
+	status, body := httpPost(t, baseURL+"/v1/ingest", trace)
+	if status != http.StatusOK {
+		t.Fatalf("ingest: status %d: %s", status, body)
+	}
+	if !bytes.Contains(body, []byte(`"evicted":397`)) {
+		t.Fatalf("ingest response does not report 397 evicted records: %s", body)
+	}
+	status, body = httpGet(t, baseURL+"/v1/status")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"records":500`)) {
+		t.Fatalf("status after capped ingest: %d: %s", status, body)
+	}
+}
+
 // TestServeCLIBodyLimit boots with a tiny -max-body and pins the 413.
 func TestServeCLIBodyLimit(t *testing.T) {
 	trace, err := os.ReadFile(filepath.Join("testdata", "t2-seed42.ndjson"))

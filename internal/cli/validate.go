@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 )
 
 // Flag-value validation shared by the cmd mains. Before this existed the
@@ -45,6 +46,15 @@ func PositiveFloat(name string, v float64) error {
 // NonNegativeFloat requires v >= 0 (-lead, -restart-cost, -proactive).
 func NonNegativeFloat(name string, v float64) error {
 	if !(v >= 0) {
+		return fmt.Errorf("-%s must be >= 0 (got %v)", name, v)
+	}
+	return nil
+}
+
+// NonNegativeDuration requires v >= 0 for duration flags where zero
+// selects a documented default (-max-age 0 = unlimited).
+func NonNegativeDuration(name string, v time.Duration) error {
+	if v < 0 {
 		return fmt.Errorf("-%s must be >= 0 (got %v)", name, v)
 	}
 	return nil

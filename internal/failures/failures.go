@@ -105,16 +105,19 @@ func (f Failure) Validate() error {
 	if !f.Category.ValidFor(f.System) {
 		return fmt.Errorf("failures: record %d category %q is not in the %v taxonomy", f.ID, f.Category, f.System)
 	}
-	seen := make(map[int]bool, len(f.GPUs))
+	// Slot lists are at most GPUsPerNode long once the range check holds,
+	// so a quadratic scan beats allocating a set per record — Validate runs
+	// once per record per ingested batch, and the map dominated its cost.
 	maxSlot := GPUsPerNode(f.System)
-	for _, g := range f.GPUs {
+	for i, g := range f.GPUs {
 		if g < 0 || g >= maxSlot {
 			return fmt.Errorf("failures: record %d references GPU slot %d outside [0, %d)", f.ID, g, maxSlot)
 		}
-		if seen[g] {
-			return fmt.Errorf("failures: record %d lists GPU slot %d twice", f.ID, g)
+		for _, prev := range f.GPUs[:i] {
+			if prev == g {
+				return fmt.Errorf("failures: record %d lists GPU slot %d twice", f.ID, g)
+			}
 		}
-		seen[g] = true
 	}
 	if f.SoftwareCause != "" && !f.Software() {
 		return fmt.Errorf("failures: record %d has software cause %q but non-software category %q", f.ID, f.SoftwareCause, f.Category)
@@ -142,9 +145,16 @@ func GPUsPerNode(s System) int {
 // so the order is deterministic.
 func SortByTime(records []Failure) {
 	sort.Slice(records, func(i, j int) bool {
-		if !records[i].Time.Equal(records[j].Time) {
-			return records[i].Time.Before(records[j].Time)
-		}
-		return records[i].ID < records[j].ID
+		return chronoLess(records[i], records[j])
 	})
+}
+
+// chronoLess is the canonical log ordering: occurrence time, ties broken
+// by ID. SortByTime and Log.AppendSorted share it so a merged log is
+// ordered exactly as a from-scratch sort.
+func chronoLess(a, b Failure) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return a.ID < b.ID
 }

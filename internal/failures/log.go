@@ -23,6 +23,22 @@ type Log struct {
 // with rather than on the instant of failure. The trace writers already
 // emit UTC, so for round-tripped logs this is the identity.
 func NewLog(system System, records []Failure) (*Log, error) {
+	sorted, err := SortBatch(system, records)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{system: system, records: sorted}, nil
+}
+
+// SortBatch validates records for system, normalizes occurrence times to
+// UTC, and returns them as a standalone ascending (time, ID)-sorted run —
+// the unit of incremental ingest. The input slice is not mutated. Cost is
+// O(b log b) in the batch alone, independent of any log the run is later
+// merged into; on error nothing is allocated beyond the batch copy.
+//
+// A SortBatch run feeds Log.AppendSorted, which merges it into a
+// committed log without revalidating or re-sorting the log.
+func SortBatch(system System, records []Failure) ([]Failure, error) {
 	if !system.Valid() {
 		return nil, fmt.Errorf("failures: invalid system %d", int(system))
 	}
@@ -37,7 +53,77 @@ func NewLog(system System, records []Failure) (*Log, error) {
 		sorted[i].Time = sorted[i].Time.UTC()
 	}
 	SortByTime(sorted)
-	return &Log{system: system, records: sorted}, nil
+	return sorted, nil
+}
+
+// AppendSorted merges a SortBatch-produced run into the log, returning a
+// new log holding both record sets in canonical (time, ID) order.
+// atTail reports whether the run sorted entirely at or after the log's
+// last record — the live-stream common case, served by a pure append in
+// O(b) amortized instead of an O(n+b) two-run merge. Records equal under
+// the ordering keep committed-run records before batch records.
+//
+// The run must come from SortBatch for the same system: AppendSorted
+// checks system membership and sortedness (O(b)) but does not re-run
+// per-record validation. The receiver is not mutated, but like append,
+// the returned log may share (and, on the tail fast path, extend) the
+// receiver's backing array — after a successful AppendSorted, treat the
+// receiver as superseded and append only to the returned log. Earlier
+// logs in an append lineage keep seeing exactly their own records.
+func (l *Log) AppendSorted(sorted []Failure) (merged *Log, atTail bool, err error) {
+	for i := range sorted {
+		if sorted[i].System != l.system {
+			return nil, false, fmt.Errorf("failures: record %d belongs to %v, log is for %v", sorted[i].ID, sorted[i].System, l.system)
+		}
+		if i > 0 && chronoLess(sorted[i], sorted[i-1]) {
+			return nil, false, fmt.Errorf("failures: AppendSorted run is unsorted at index %d (record %d)", i, sorted[i].ID)
+		}
+	}
+	if len(sorted) == 0 {
+		return l, true, nil
+	}
+	n := len(l.records)
+	if n == 0 || !chronoLess(sorted[0], l.records[n-1]) {
+		return &Log{system: l.system, records: append(l.records, sorted...)}, true, nil
+	}
+	out := make([]Failure, 0, n+len(sorted))
+	i, j := 0, 0
+	for i < n && j < len(sorted) {
+		if chronoLess(sorted[j], l.records[i]) {
+			out = append(out, sorted[j])
+			j++
+		} else {
+			out = append(out, l.records[i])
+			i++
+		}
+	}
+	out = append(out, l.records[i:]...)
+	out = append(out, sorted[j:]...)
+	return &Log{system: l.system, records: out}, false, nil
+}
+
+// DropFirst returns the log without its first k records. The returned
+// log shares the receiver's backing array (O(1)); the dropped head stays
+// referenced until the result is Compacted. k outside [0, Len] is
+// clamped.
+func (l *Log) DropFirst(k int) *Log {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(l.records) {
+		k = len(l.records)
+	}
+	return &Log{system: l.system, records: l.records[k:]}
+}
+
+// Compact returns a copy of the log in a fresh, exactly-sized backing
+// array, releasing memory shared with predecessors in an append/DropFirst
+// lineage (the retention machinery in index.Store compacts periodically
+// so eviction actually frees the evicted head).
+func (l *Log) Compact() *Log {
+	records := make([]Failure, len(l.records))
+	copy(records, l.records)
+	return &Log{system: l.system, records: records}
 }
 
 // System returns the machine generation the log belongs to.

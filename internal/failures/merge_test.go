@@ -1,0 +1,189 @@
+package failures
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// mergeRecords synthesizes n valid Tsubame-2 records at hour offsets
+// drawn from a seeded source, with unique IDs so (time, ID) is a total
+// order and merge results are comparable bit-for-bit to a full re-sort.
+func mergeRecords(n int, seed int64) []Failure {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Failure, n)
+	for i := range out {
+		out[i] = Failure{
+			ID:       i + 1,
+			System:   Tsubame2,
+			Time:     ts(rng.Intn(5000)),
+			Recovery: time.Duration(rng.Intn(100)) * time.Hour,
+			Category: CatGPU,
+			Node:     "n0001",
+			GPUs:     []int{i % 3},
+		}
+	}
+	return out
+}
+
+// TestAppendSortedMatchesNewLog is the merge path's core claim: for any
+// split of a record set into a committed log and a batch, AppendSorted
+// over a SortBatch run yields a log record-identical to NewLog over the
+// concatenation.
+func TestAppendSortedMatchesNewLog(t *testing.T) {
+	records := mergeRecords(200, 7)
+	for _, split := range []int{0, 1, 50, 199, 200} {
+		committed, err := NewLog(Tsubame2, records[:split])
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := SortBatch(Tsubame2, records[split:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, _, err := committed.AppendSorted(batch)
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		want, err := NewLog(Tsubame2, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(merged.Records(), want.Records()) {
+			t.Errorf("split %d: merged log differs from NewLog over the concatenation", split)
+		}
+	}
+}
+
+// TestAppendSortedTailFastPath pins the fast-path detection: a batch
+// sorting entirely at or after the committed run reports atTail, an
+// interleaving batch does not, and both orders are correct.
+func TestAppendSortedTailFastPath(t *testing.T) {
+	log := makeLog(t) // records at hours 0, 10, 30, 40
+	tail := []Failure{
+		{ID: 10, System: Tsubame2, Time: ts(40), Recovery: time.Hour, Category: CatGPU, GPUs: []int{0}},
+		{ID: 11, System: Tsubame2, Time: ts(50), Recovery: time.Hour, Category: CatGPU, GPUs: []int{1}},
+	}
+	sorted, err := SortBatch(Tsubame2, tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, atTail, err := log.AppendSorted(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atTail {
+		t.Error("batch at the time-tail (tie broken by larger ID) not detected as tail append")
+	}
+	if got := merged.Len(); got != 6 {
+		t.Fatalf("merged log has %d records, want 6", got)
+	}
+
+	mid := []Failure{{ID: 12, System: Tsubame2, Time: ts(20), Recovery: time.Hour, Category: CatGPU, GPUs: []int{2}}}
+	sorted, err = SortBatch(Tsubame2, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged2, atTail, err := merged.AppendSorted(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atTail {
+		t.Error("mid-log batch reported as tail append")
+	}
+	for i := 1; i < merged2.Len(); i++ {
+		if merged2.At(i).Time.Before(merged2.At(i - 1).Time) {
+			t.Fatalf("merged log out of order at %d", i)
+		}
+	}
+	if merged2.At(2).ID != 12 {
+		t.Errorf("hour-20 record landed at index %d's position, want index 2", merged2.At(2).ID)
+	}
+}
+
+// TestAppendSortedTieKeepsCommittedFirst pins the tie rule: on equal
+// (time, ID) keys the committed run's record precedes the batch's.
+func TestAppendSortedTieKeepsCommittedFirst(t *testing.T) {
+	a := Failure{ID: 1, System: Tsubame2, Time: ts(5), Category: CatGPU, GPUs: []int{0}, Node: "committed"}
+	b := a
+	b.Node = "batch"
+	log, err := NewLog(Tsubame2, []Failure{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := SortBatch(Tsubame2, []Failure{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, atTail, err := log.AppendSorted(sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atTail {
+		t.Error("equal-key batch should take the tail fast path")
+	}
+	if merged.At(0).Node != "committed" || merged.At(1).Node != "batch" {
+		t.Errorf("tie order %q, %q; want committed before batch", merged.At(0).Node, merged.At(1).Node)
+	}
+}
+
+// TestAppendSortedRejectsBadRuns pins the misuse guards: wrong-system
+// records and unsorted runs are rejected without touching the log.
+func TestAppendSortedRejectsBadRuns(t *testing.T) {
+	log := makeLog(t)
+	wrong := []Failure{{ID: 9, System: Tsubame3, Time: ts(99), Category: CatGPU}}
+	if _, _, err := log.AppendSorted(wrong); err == nil {
+		t.Error("wrong-system run accepted")
+	}
+	unsorted := []Failure{
+		{ID: 9, System: Tsubame2, Time: ts(99), Category: CatGPU, GPUs: []int{0}},
+		{ID: 8, System: Tsubame2, Time: ts(98), Category: CatGPU, GPUs: []int{1}},
+	}
+	if _, _, err := log.AppendSorted(unsorted); err == nil {
+		t.Error("unsorted run accepted")
+	}
+	if log.Len() != 4 {
+		t.Errorf("rejected runs changed the log: %d records", log.Len())
+	}
+}
+
+// TestSortBatchDoesNotMutateInput pins that SortBatch sorts a copy.
+func TestSortBatchDoesNotMutateInput(t *testing.T) {
+	in := []Failure{
+		{ID: 2, System: Tsubame2, Time: ts(10), Category: CatGPU, GPUs: []int{0}},
+		{ID: 1, System: Tsubame2, Time: ts(0), Category: CatGPU, GPUs: []int{1}},
+	}
+	if _, err := SortBatch(Tsubame2, in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0].ID != 2 || in[1].ID != 1 {
+		t.Error("SortBatch reordered the caller's slice")
+	}
+}
+
+// TestDropFirstAndCompact pins the retention helpers: DropFirst shares
+// the backing array, Compact copies it, and both preserve records.
+func TestDropFirstAndCompact(t *testing.T) {
+	log := makeLog(t)
+	tail := log.DropFirst(2)
+	if tail.Len() != 2 || tail.At(0).ID != 3 {
+		t.Fatalf("DropFirst(2) = %d records starting at ID %d, want 2 starting at 3", tail.Len(), tail.At(0).ID)
+	}
+	compacted := tail.Compact()
+	if !reflect.DeepEqual(compacted.Records(), tail.Records()) {
+		t.Error("Compact changed the records")
+	}
+	if log.DropFirst(-1).Len() != 4 || log.DropFirst(99).Len() != 0 {
+		t.Error("DropFirst does not clamp k")
+	}
+	// Batch-rebuilding the suffix is identical — the retention
+	// equivalence the index.Store tests rely on.
+	want, err := NewLog(Tsubame2, tail.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Records(), tail.Records()) {
+		t.Error("DropFirst suffix differs from batch-built log over the same records")
+	}
+}

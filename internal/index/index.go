@@ -19,9 +19,10 @@
 //     stats APIs (QuantilesSorted, SummarizeSorted, NewECDFSorted) and
 //     dist.FitAllSorted so the hot path sorts each sample at most once.
 //
-// Concurrency: every facet is guarded by its own sync.Once, so phases
-// fanned out by internal/parallel can demand facets concurrently; the
-// first caller builds, the rest wait, and no facet is built twice. All
+// Concurrency: every facet is guarded by its own facetOnce (a sync.Once
+// whose completion is observable — delta.go), so phases fanned out by
+// internal/parallel can demand facets concurrently; the first caller
+// builds, the rest wait, and no facet is built twice. All
 // returned slices and maps are shared and MUST be treated as read-only —
 // the analyses only read, which is what makes the whole battery
 // race-free by construction (docs/PERFORMANCE.md).
@@ -34,7 +35,6 @@ package index
 
 import (
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/failures"
@@ -46,50 +46,50 @@ import (
 type View struct {
 	log *failures.Log
 
-	recordsOnce sync.Once
+	recordsOnce facetOnce
 	records     []failures.Failure
 
-	catCountsOnce sync.Once
+	catCountsOnce facetOnce
 	catCounts     map[failures.Category]int
 
-	nodesOnce  sync.Once
+	nodesOnce  facetOnce
 	nodeCounts map[string]int
 	nodes      []string
 
-	partitionOnce sync.Once
+	partitionOnce facetOnce
 	catRecords    map[failures.Category][]failures.Failure
 	gpuRecords    []failures.Failure
 
-	gapsOnce sync.Once
+	gapsOnce facetOnce
 	gaps     []float64
 
-	sortedGapsOnce sync.Once
+	sortedGapsOnce facetOnce
 	sortedGaps     []float64
 
-	recoveryOnce sync.Once
+	recoveryOnce facetOnce
 	recovery     []float64
 
-	sortedRecoveryOnce sync.Once
+	sortedRecoveryOnce facetOnce
 	sortedRecovery     []float64
 
-	catSeriesOnce sync.Once
+	catSeriesOnce facetOnce
 	catGaps       map[failures.Category][]float64
 	catRecovery   map[failures.Category][]float64
 
-	catSortedOnce     sync.Once
+	catSortedOnce     facetOnce
 	catGapsSorted     map[failures.Category][]float64
 	catRecoverySorted map[failures.Category][]float64
 
-	monthlyOnce   sync.Once
+	monthlyOnce   facetOnce
 	monthlyRecov  map[time.Month][]float64
 	monthlySorted map[time.Month][]float64
 	monthlyCounts map[time.Month]int
 
-	hwswOnce   sync.Once
+	hwswOnce   facetOnce
 	hwRecovery []float64
 	swRecovery []float64
 
-	hwswSortedOnce   sync.Once
+	hwswSortedOnce   facetOnce
 	hwRecoverySorted []float64
 	swRecoverySorted []float64
 }

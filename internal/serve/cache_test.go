@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/failures"
+	"repro/internal/obs"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestCacheBoundedUnderSustainedIngest is the white-box guard on the
+// query cache's memory: under an ingest/query/ingest/query steady state,
+// entries from superseded epochs are dropped on the first query of each
+// new epoch, so the live map never holds more than one epoch's distinct
+// queries, and every drop shows up in the serve/cache_evictions counter.
+func TestCacheBoundedUnderSustainedIngest(t *testing.T) {
+	obs.Reset()
+	obs.Enable(true)
+	defer func() {
+		obs.Enable(false)
+		obs.Reset()
+	}()
+
+	s, err := New(Config{System: failures.Tsubame2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	log, err := synth.Generate(synth.Tsubame2Profile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteNDJSON(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(buf.Bytes(), []byte("\n"))
+
+	get := func(path string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+	cacheSize := func() int {
+		s.cache.mu.Lock()
+		defer s.cache.mu.Unlock()
+		return len(s.cache.entries)
+	}
+
+	queries := []string{"/v1/digest?days=7", "/v1/digest?days=14", "/v1/digest?days=30"}
+	const batch = 45
+	epochs := 0
+	for start := 0; start < len(lines); start += batch {
+		end := start + batch
+		if end > len(lines) {
+			end = len(lines)
+		}
+		body := bytes.Join(lines[start:end], nil)
+		if len(bytes.TrimSpace(body)) == 0 {
+			continue
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest at line %d: status %d: %s", start, rec.Code, rec.Body)
+		}
+		epochs++
+		for _, q := range queries {
+			get(q)
+		}
+		if size := cacheSize(); size > len(queries) {
+			t.Fatalf("after epoch %d: cache holds %d entries, want at most %d (stale epochs accumulating)", epochs, size, len(queries))
+		}
+	}
+	if epochs < 3 {
+		t.Fatalf("fixture produced only %d ingest cycles", epochs)
+	}
+	// Every epoch advance evicts the previous epoch's entries; the final
+	// epoch's entries are still live.
+	want := int64(len(queries) * (epochs - 1))
+	if got := obs.Take().Counters["serve/cache_evictions"]; got != want {
+		t.Errorf("serve/cache_evictions = %d after %d cycles, want %d", got, epochs, want)
+	}
+}

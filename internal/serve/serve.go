@@ -60,6 +60,13 @@ type Config struct {
 	// Parallelism bounds the analysis worker pool of query handlers
 	// (0 = all cores); like the CLIs, it never affects response bytes.
 	Parallelism int
+	// MaxRecords caps the resident record count; each ingest evicts the
+	// oldest records beyond it. 0 means unlimited.
+	MaxRecords int
+	// MaxAge evicts records older than the newest ingested record's
+	// occurrence time minus MaxAge (record time, not wall clock). 0 means
+	// unlimited.
+	MaxAge time.Duration
 }
 
 // Server is the HTTP failure-analytics service. Create with New; serve
@@ -82,7 +89,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes < 0 || cfg.MaxLineBytes < 0 || cfg.Parallelism < 0 {
 		return nil, fmt.Errorf("serve: negative limit in config %+v", cfg)
 	}
-	store, err := index.NewStore(cfg.System)
+	store, err := index.NewStoreWithOptions(cfg.System, index.StoreOptions{
+		MaxRecords: cfg.MaxRecords,
+		MaxAge:     cfg.MaxAge,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -110,8 +120,12 @@ type IngestResponse struct {
 	Accepted int `json:"accepted"`
 	// Epoch is the sequence number of the snapshot now serving queries.
 	Epoch uint64 `json:"epoch"`
-	// TotalRecords is the store's record count after this request.
+	// TotalRecords is the store's resident record count after this
+	// request (after retention, when the server is bounded).
 	TotalRecords int `json:"total_records"`
+	// Evicted is the number of old records retention dropped while
+	// committing this request; omitted when nothing was evicted.
+	Evicted int `json:"evicted,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.
@@ -153,7 +167,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		bufSize = s.cfg.MaxLineBytes
 	}
 	sc.Buffer(make([]byte, bufSize), s.cfg.MaxLineBytes)
-	var records []failures.Failure
+	// Pre-size from the declared body length: canonical wire lines run
+	// ~160 bytes, so this lands within one growth step of the true count
+	// instead of walking the whole append ladder.
+	var sizeHint int
+	if r.ContentLength > 0 {
+		sizeHint = int(r.ContentLength/160) + 1
+	}
+	records := make([]failures.Failure, 0, sizeHint)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -198,11 +219,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.Add("serve/ingested_records", int64(len(records)))
-	writeJSON(w, http.StatusOK, IngestResponse{
+	resp := IngestResponse{
 		Accepted:     len(records),
 		Epoch:        ep.Seq(),
 		TotalRecords: ep.View().Len(),
-	})
+	}
+	if len(records) > 0 {
+		// An empty batch returns the prior epoch, whose eviction count
+		// belongs to the request that created it.
+		resp.Evicted = ep.Evicted()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // overLimit reports whether reading the rest of r (an
@@ -239,6 +266,13 @@ func (c *queryCache) entryFor(seq uint64, key string) *cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if seq > c.seq || c.entries == nil {
+		// Dropping the superseded generation wholesale is what keeps the
+		// cache bounded by the distinct queries of ONE epoch under
+		// sustained ingest (cache_test.go pins this); the counter makes
+		// the churn observable.
+		if n := len(c.entries); n > 0 {
+			obs.Add("serve/cache_evictions", int64(n))
+		}
 		c.seq = seq
 		c.entries = make(map[string]*cacheEntry)
 	} else if seq < c.seq {

@@ -402,3 +402,64 @@ func TestConcurrentIngestAndQueries(t *testing.T) {
 		t.Fatalf("final record count %d, want 897", st.Records)
 	}
 }
+
+// TestRetentionServeMatchesBatchOverRetainedSuffix pins the bounded
+// service's contract: with MaxRecords set, ingest evicts the oldest
+// records (reported in the ingest response), /v1/status reflects the
+// resident count, and query responses are byte-identical to the batch
+// CLI run over exactly the retained suffix of the stream.
+func TestRetentionServeMatchesBatchOverRetainedSuffix(t *testing.T) {
+	const maxRecords = 500
+	full, splitAt := seedNDJSON(t)
+	first, second := chunks(full, splitAt)
+	s := newServer(t, serve.Config{Parallelism: 1, MaxRecords: maxRecords})
+	h := s.Handler()
+
+	resp := mustIngest(t, h, first)
+	if resp.Evicted != 0 {
+		t.Fatalf("under-cap ingest evicted %d records", resp.Evicted)
+	}
+	resp = mustIngest(t, h, second)
+	if resp.TotalRecords != maxRecords {
+		t.Fatalf("resident records %d after over-cap ingest, want %d", resp.TotalRecords, maxRecords)
+	}
+	if want := 897 - maxRecords; resp.Evicted != want {
+		t.Fatalf("ingest evicted %d records, want %d", resp.Evicted, want)
+	}
+
+	status, body := do(t, h, http.MethodGet, "/v1/status", nil)
+	if status != http.StatusOK {
+		t.Fatalf("status: %d: %s", status, body)
+	}
+	var st serve.StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != maxRecords {
+		t.Fatalf("status reports %d records, want %d", st.Records, maxRecords)
+	}
+
+	// The analysis must be over exactly the newest maxRecords records.
+	fullLog, err := trace.ReadNDJSON(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := fullLog.Records()
+	retained, err := failures.NewLog(failures.Tsubame2, recs[len(recs)-maxRecords:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := core.Run(retained, core.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	textreport.Analyze(&want, study, retained)
+	status, got := do(t, h, http.MethodGet, "/v1/analyze", nil)
+	if status != http.StatusOK {
+		t.Fatalf("analyze: %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("analyze over bounded store differs from batch CLI over the retained suffix\n got %d bytes\nwant %d bytes", len(got), len(want.Bytes()))
+	}
+}

@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file holds the decode twin of the append-based encoders in
+// encode.go: a hand-rolled parser for the canonical NDJSON wire line
+// that avoids encoding/json's reflection, scanner, and per-field
+// interface machinery on the streaming-ingest hot path (the serve
+// ingest plane spends over half its time in json.Unmarshal otherwise).
+//
+// The contract is strict fallback, not reimplementation: the fast path
+// accepts a line only when it can prove json.Unmarshal would decode it
+// to the identical jsonRecord — a flat object of known, non-repeated
+// keys with escape-free ASCII strings and JSON-grammar numbers. Anything
+// else (escapes, non-ASCII, unknown or duplicate keys, exotic numbers,
+// null, nested values, trailing garbage, any syntax error) returns
+// ok=false and the caller re-parses through encoding/json, so error
+// behavior and tolerance for non-canonical input are exactly what they
+// were. decode_test.go runs both paths differentially over canonical and
+// adversarial input, and FuzzParseNDJSONRecord extends that to
+// coverage-guided corpora.
+
+// parseNDJSONRecordFast decodes one canonical NDJSON wire line.
+// ok=false means the line deviates from the canonical form and the
+// caller must fall back to encoding/json; it never means "invalid
+// input" — malformed lines also just fall back, and fail there.
+func parseNDJSONRecordFast(line []byte) (rec jsonRecord, ok bool) {
+	p := lineParser{b: line}
+	p.ws()
+	if !p.eat('{') {
+		return rec, false
+	}
+	p.ws()
+	if p.eat('}') {
+		p.ws()
+		return rec, p.pos == len(p.b)
+	}
+	var seen uint16
+	for {
+		p.ws()
+		key, ok := p.str()
+		if !ok {
+			return rec, false
+		}
+		p.ws()
+		if !p.eat(':') {
+			return rec, false
+		}
+		p.ws()
+		var bit uint16
+		switch string(key) {
+		case "id":
+			bit = 1 << 0
+			rec.ID, ok = p.integer()
+		case "system":
+			bit = 1 << 1
+			var s []byte
+			s, ok = p.str()
+			rec.System = string(s)
+		case "time":
+			bit = 1 << 2
+			var tok []byte
+			if tok, ok = p.quoted(); ok {
+				ok = rec.Time.UnmarshalJSON(tok) == nil
+			}
+		case "recovery_hours":
+			bit = 1 << 3
+			var tok []byte
+			if tok, ok = p.number(); ok {
+				var err error
+				rec.RecoveryHours, err = strconv.ParseFloat(string(tok), 64)
+				ok = err == nil
+			}
+		case "category":
+			bit = 1 << 4
+			var s []byte
+			s, ok = p.str()
+			rec.Category = string(s)
+		case "node":
+			bit = 1 << 5
+			var s []byte
+			s, ok = p.str()
+			rec.Node = string(s)
+		case "gpus":
+			bit = 1 << 6
+			rec.GPUs, ok = p.intArray()
+		case "software_cause":
+			bit = 1 << 7
+			var s []byte
+			s, ok = p.str()
+			rec.SoftwareCause = string(s)
+		default:
+			return rec, false
+		}
+		if !ok || seen&bit != 0 {
+			return rec, false
+		}
+		seen |= bit
+		p.ws()
+		if p.eat(',') {
+			continue
+		}
+		if p.eat('}') {
+			break
+		}
+		return rec, false
+	}
+	p.ws()
+	return rec, p.pos == len(p.b)
+}
+
+// lineParser is a cursor over one line. Methods advance pos on success;
+// on failure the whole line is abandoned, so no method needs to rewind.
+type lineParser struct {
+	b   []byte
+	pos int
+}
+
+// ws skips JSON whitespace.
+func (p *lineParser) ws() {
+	for p.pos < len(p.b) {
+		switch p.b[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// eat consumes c if it is the next byte.
+func (p *lineParser) eat(c byte) bool {
+	if p.pos < len(p.b) && p.b[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// str parses a JSON string restricted to escape-free printable ASCII —
+// the only form whose decoded value equals its raw bytes. Escapes,
+// control characters, and non-ASCII (which json would UTF-8-validate)
+// all decline.
+func (p *lineParser) str() ([]byte, bool) {
+	if !p.eat('"') {
+		return nil, false
+	}
+	start := p.pos
+	for p.pos < len(p.b) {
+		switch c := p.b[p.pos]; {
+		case c == '"':
+			s := p.b[start:p.pos]
+			p.pos++
+			return s, true
+		case c < 0x20 || c == '\\' || c >= utf8.RuneSelf:
+			return nil, false
+		default:
+			p.pos++
+		}
+	}
+	return nil, false
+}
+
+// quoted parses a string with str's restrictions but returns the token
+// including both quotes — the exact bytes json hands a
+// json.Unmarshaler (time.Time here).
+func (p *lineParser) quoted() ([]byte, bool) {
+	start := p.pos
+	if _, ok := p.str(); !ok {
+		return nil, false
+	}
+	return p.b[start:p.pos], true
+}
+
+// integer parses a JSON-grammar integer (no fraction, no exponent, no
+// leading zeros) that fits int64 comfortably; anything else declines so
+// encoding/json can produce its own error or value.
+func (p *lineParser) integer() (int, bool) {
+	neg := p.eat('-')
+	start := p.pos
+	var v int
+	for p.pos < len(p.b) {
+		c := p.b[p.pos]
+		if c < '0' || c > '9' {
+			break
+		}
+		if v > (math.MaxInt64-9)/10 {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		p.pos++
+	}
+	if p.pos == start || (p.pos-start > 1 && p.b[start] == '0') {
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// number validates a JSON-grammar number token and returns its bytes;
+// the caller feeds them to strconv.ParseFloat, the same function
+// encoding/json uses, so the decoded value is bit-identical.
+func (p *lineParser) number() ([]byte, bool) {
+	start := p.pos
+	p.eat('-')
+	d0 := p.pos
+	for p.pos < len(p.b) && p.b[p.pos] >= '0' && p.b[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == d0 || (p.pos-d0 > 1 && p.b[d0] == '0') {
+		return nil, false
+	}
+	if p.eat('.') {
+		f0 := p.pos
+		for p.pos < len(p.b) && p.b[p.pos] >= '0' && p.b[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == f0 {
+			return nil, false
+		}
+	}
+	if p.pos < len(p.b) && (p.b[p.pos] == 'e' || p.b[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.b) && (p.b[p.pos] == '+' || p.b[p.pos] == '-') {
+			p.pos++
+		}
+		e0 := p.pos
+		for p.pos < len(p.b) && p.b[p.pos] >= '0' && p.b[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == e0 {
+			return nil, false
+		}
+	}
+	return p.b[start:p.pos], true
+}
+
+// intArray parses a flat array of JSON integers. An empty array decodes
+// to an empty non-nil slice, matching json.Unmarshal into []int.
+func (p *lineParser) intArray() ([]int, bool) {
+	if !p.eat('[') {
+		return nil, false
+	}
+	p.ws()
+	out := []int{}
+	if p.eat(']') {
+		return out, true
+	}
+	for {
+		v, ok := p.integer()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+		p.ws()
+		if p.eat(',') {
+			p.ws()
+			continue
+		}
+		if p.eat(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}

@@ -83,10 +83,25 @@ func ReadNDJSON(r io.Reader) (*failures.Log, error) {
 	}
 	defer releaseBuf(buf)
 	data := buf.Bytes()
-
-	dec := json.NewDecoder(bytes.NewReader(data))
 	lines := countLines(data)
 	obs.Add("trace/ndjson_rows", int64(lines))
+
+	// Canonical one-record-per-line input decodes through the fast line
+	// parser; any deviation — including any line that would fail to decode
+	// — falls through to the json.Decoder loop below, which tolerates
+	// values spanning lines and reports errors with real line numbers.
+	if records, ok := readNDJSONFast(data, lines); ok {
+		if len(records) == 0 {
+			return nil, fmt.Errorf("trace: NDJSON contains no records")
+		}
+		log, err := failures.NewLog(records[0].System, records)
+		if err != nil {
+			return nil, fmt.Errorf("trace: validating NDJSON log: %w", err)
+		}
+		return log, nil
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(data))
 	records := make([]failures.Failure, 0, lines)
 	var system failures.System
 	for {
@@ -116,11 +131,45 @@ func ReadNDJSON(r io.Reader) (*failures.Log, error) {
 	return log, nil
 }
 
+// readNDJSONFast decodes strictly line-delimited canonical input (blank
+// lines allowed). ok=false means some line declined the fast parser or
+// failed conversion; the caller re-decodes everything through
+// encoding/json so accepted inputs, rejected inputs, and error messages
+// are identical either way.
+func readNDJSONFast(data []byte, capHint int) ([]failures.Failure, bool) {
+	records := make([]failures.Failure, 0, capHint)
+	for start := 0; start < len(data); {
+		end := start
+		for end < len(data) && data[end] != '\n' {
+			end++
+		}
+		line := data[start:end]
+		start = end + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, ok := parseNDJSONRecordFast(line)
+		if !ok {
+			return nil, false
+		}
+		f, err := recordFromWire(rec)
+		if err != nil {
+			return nil, false
+		}
+		records = append(records, f)
+	}
+	return records, true
+}
+
 // ParseNDJSONRecord parses one NDJSON wire line into a Failure. It is the
 // per-line kernel behind ReadNDJSON, exported for streaming ingest paths
 // (internal/serve) that read request bodies line by line under their own
-// size limits instead of slurping.
+// size limits instead of slurping. Canonical lines take the hand-rolled
+// fast parser (decode.go); anything else falls back to encoding/json.
 func ParseNDJSONRecord(line []byte) (failures.Failure, error) {
+	if rec, ok := parseNDJSONRecordFast(line); ok {
+		return recordFromWire(rec)
+	}
 	var rec jsonRecord
 	if err := json.Unmarshal(line, &rec); err != nil {
 		return failures.Failure{}, err
