@@ -152,7 +152,16 @@ func nextView(prev *View, log *failures.Log, delta []failures.Failure, atTail bo
 		}
 		next.recoveryOnce.Do(func() { next.recovery = recovery })
 	}
-	if prev.partitionOnce.Done() {
+	// Snapshot the partition flag once: the catSeries carry below reads
+	// prev.catRecords (owned by partitionOnce, and materialized by
+	// buildCategorySeries as a prerequisite), so it must run only when
+	// the partition carry above it ran too. Checking Done() twice races
+	// with a concurrent reader completing buildCategorySeries between the
+	// checks, which would hand the next epoch carried catSeries but nil
+	// catRecords — and the append after that would bridge per-category
+	// gaps against nil, silently dropping gap samples.
+	partitionDone := prev.partitionOnce.Done()
+	if partitionDone {
 		byCat := make(map[failures.Category][]failures.Failure, len(prev.catRecords)+1)
 		for cat, recs := range prev.catRecords {
 			byCat[cat] = recs
@@ -167,9 +176,9 @@ func nextView(prev *View, log *failures.Log, delta []failures.Failure, atTail bo
 		}
 		next.partitionOnce.Do(func() { next.catRecords, next.gpuRecords = byCat, gpu })
 	}
-	if prev.catSeriesOnce.Done() {
-		// buildCategorySeries materializes the partitions inside its once,
-		// so prev.catRecords is available for the per-category bridges.
+	if partitionDone && prev.catSeriesOnce.Done() {
+		// prev.catRecords feeds the per-category bridges; the partitionDone
+		// snapshot guarantees it was carried into next alongside catSeries.
 		deltaByCat := make(map[failures.Category][]failures.Failure)
 		for i := range delta {
 			deltaByCat[delta[i].Category] = append(deltaByCat[delta[i].Category], delta[i])

@@ -209,4 +209,69 @@ func TestStoreConcurrentIngestAndReads(t *testing.T) {
 	if final.View().Len() != len(recs) {
 		t.Fatalf("final epoch has %d records, want %d", final.View().Len(), len(recs))
 	}
+	// Concurrent facet reads arm the delta carry-forward on whichever
+	// epochs they happened to touch; whatever the interleaving, the final
+	// epoch must still be indistinguishable from a batch build.
+	wantLog, err := failures.NewLog(failures.Tsubame2, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAllFacets(t, final.View(), index.New(wantLog))
+}
+
+// TestStoreConcurrentCategorySeriesCarry hammers the narrow window the
+// delta builder is exposed to: a reader completing buildCategorySeries
+// (which materializes the category partitions inside its own once)
+// between nextView's partition check and its catSeries check. An
+// unguarded carry hands the next epoch category series without
+// partitions, and the append after that bridges per-category gaps
+// against nil — silently dropping gap samples. Each iteration races one
+// reader against two appends and then compares the category facets to a
+// batch build.
+func TestStoreConcurrentCategorySeriesCarry(t *testing.T) {
+	recs := storeRecords(t, 90)
+	wantLog, err := failures.NewLog(failures.Tsubame2, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := index.New(wantLog)
+
+	iters := 150
+	if testing.Short() {
+		iters = 25
+	}
+	for i := 0; i < iters; i++ {
+		store, err := index.NewStore(failures.Tsubame2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Append(recs[:30]); err != nil {
+			t.Fatal(err)
+		}
+		v := store.Snapshot().View()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cat := range v.CategoryCounts() {
+				v.CategoryGaps(cat)
+			}
+		}()
+		if _, err := store.Append(recs[30:60]); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if _, err := store.Append(recs[60:]); err != nil {
+			t.Fatal(err)
+		}
+		got := store.Snapshot().View()
+		for cat := range want.CategoryCounts() {
+			if !reflect.DeepEqual(got.CategoryGaps(cat), want.CategoryGaps(cat)) {
+				t.Fatalf("iteration %d: CategoryGaps[%s] diverged from batch build", i, cat)
+			}
+			if !reflect.DeepEqual(got.SortedCategoryGaps(cat), want.SortedCategoryGaps(cat)) {
+				t.Fatalf("iteration %d: SortedCategoryGaps[%s] diverged from batch build", i, cat)
+			}
+		}
+	}
 }

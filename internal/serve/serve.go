@@ -169,10 +169,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	sc.Buffer(make([]byte, bufSize), s.cfg.MaxLineBytes)
 	// Pre-size from the declared body length: canonical wire lines run
 	// ~160 bytes, so this lands within one growth step of the true count
-	// instead of walking the whole append ladder.
+	// instead of walking the whole append ladder. The declared length is
+	// client-controlled and MaxBytesReader only enforces the cap while
+	// reading, so clamp the hint to the body limit — otherwise a fake
+	// Content-Length allocates gigabytes before the first byte arrives.
 	var sizeHint int
-	if r.ContentLength > 0 {
-		sizeHint = int(r.ContentLength/160) + 1
+	if cl := r.ContentLength; cl > 0 {
+		if cl > s.cfg.MaxBodyBytes {
+			cl = s.cfg.MaxBodyBytes
+		}
+		sizeHint = int(cl/160) + 1
 	}
 	records := make([]failures.Failure, 0, sizeHint)
 	line := 0

@@ -201,6 +201,32 @@ func TestIngestBodyLimit413(t *testing.T) {
 	}
 }
 
+// TestIngestLyingContentLengthClamped pins the pre-size clamp: the
+// records slice capacity hint comes from the client-declared
+// Content-Length, which MaxBytesReader only vets while reading, so a
+// request declaring an absurd length over a tiny body must not allocate
+// proportionally to the lie. Pre-clamp this panicked in makeslice
+// before the first byte was read.
+func TestIngestLyingContentLengthClamped(t *testing.T) {
+	full, _ := seedNDJSON(t)
+	first, _ := chunks(full, 5)
+	s := newServer(t, serve.Config{MaxBodyBytes: 1 << 16})
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(first))
+	req.ContentLength = 1 << 62
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", rec.Code, rec.Body.Bytes())
+	}
+	var resp serve.IngestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 5 {
+		t.Fatalf("accepted %d records, want 5", resp.Accepted)
+	}
+}
+
 // TestIngestLineLimit413 pins the line-length guard and that its message
 // names the offending line.
 func TestIngestLineLimit413(t *testing.T) {

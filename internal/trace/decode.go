@@ -177,12 +177,13 @@ func (p *lineParser) quoted() ([]byte, bool) {
 }
 
 // integer parses a JSON-grammar integer (no fraction, no exponent, no
-// leading zeros) that fits int64 comfortably; anything else declines so
-// encoding/json can produce its own error or value.
+// leading zeros) that fits the platform int; anything else declines so
+// encoding/json can produce its own error or value. Accumulation is in
+// int64 so the overflow guard is portable to 32-bit ints.
 func (p *lineParser) integer() (int, bool) {
 	neg := p.eat('-')
 	start := p.pos
-	var v int
+	var v int64
 	for p.pos < len(p.b) {
 		c := p.b[p.pos]
 		if c < '0' || c > '9' {
@@ -191,7 +192,7 @@ func (p *lineParser) integer() (int, bool) {
 		if v > (math.MaxInt64-9)/10 {
 			return 0, false
 		}
-		v = v*10 + int(c-'0')
+		v = v*10 + int64(c-'0')
 		p.pos++
 	}
 	if p.pos == start || (p.pos-start > 1 && p.b[start] == '0') {
@@ -200,7 +201,10 @@ func (p *lineParser) integer() (int, bool) {
 	if neg {
 		v = -v
 	}
-	return v, true
+	if int64(int(v)) != v {
+		return 0, false
+	}
+	return int(v), true
 }
 
 // number validates a JSON-grammar number token and returns its bytes;

@@ -93,6 +93,11 @@ var adversarialLines = []string{
 	`{"id":1e1,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","recovery_hours":1,"category":"GPU"}`,
 	`{"id":9223372036854775807,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","recovery_hours":1,"category":"GPU"}`,
 	`{"id":99999999999999999999,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","recovery_hours":1,"category":"GPU"}`,
+	// int32 boundary: on 32-bit ints these overflow the field and the
+	// fast path must decline to encoding/json, not wrap.
+	`{"id":2147483648,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","recovery_hours":1,"category":"GPU"}`,
+	`{"id":-2147483649,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","recovery_hours":1,"category":"GPU"}`,
+	`{"id":1,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","recovery_hours":1,"category":"GPU","gpus":[2147483648]}`,
 	`{"recovery_hours":.5,"id":1,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","category":"GPU"}`,
 	`{"recovery_hours":5.,"id":1,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","category":"GPU"}`,
 	`{"recovery_hours":1e,"id":1,"system":"Tsubame-2","time":"2012-02-01T00:00:00Z","category":"GPU"}`,
