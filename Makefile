@@ -22,7 +22,7 @@ BENCH_PKGS ?= ./...
 BENCH_OUT ?= BENCH_ci.json
 BENCH_TAGS ?=
 
-.PHONY: build test race bench bench-baseline bench-check bench-smoke bench-smoke-selftest sweep-smoke serve-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
+.PHONY: build test race bench bench-baseline bench-check bench-smoke bench-smoke-selftest sweep-smoke serve-smoke convert-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -101,13 +101,22 @@ profile-gen:
 	$(GO) test -bench='^BenchmarkPerfGenerateEncode100k$$' -benchtime=20x -run='^$$' \
 		-cpuprofile PROFILE_gen_cpu.out -memprofile PROFILE_gen_mem.out .
 
-## fuzz-smoke: 45 seconds of coverage-guided fuzzing on the trace
+## fuzz-smoke: a minute of coverage-guided fuzzing on the trace
 ## parsers, 15 s per target. Go permits one -fuzz target per invocation,
 ## so the targets run back to back.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime=15s -run='^$$' ./internal/trace/
 	$(GO) test -fuzz='^FuzzReadNDJSON$$' -fuzztime=15s -run='^$$' ./internal/trace/
 	$(GO) test -fuzz='^FuzzParseNDJSONRecord$$' -fuzztime=15s -run='^$$' ./internal/trace/
+	$(GO) test -fuzz='^FuzzReadTSBC$$' -fuzztime=15s -run='^$$' ./internal/trace/
+
+## convert-smoke: lossless-conversion gate for the columnar data plane —
+## generate a 100k-record trace, convert NDJSON -> .tsbc -> NDJSON, and
+## require byte identity, plus a streaming .tsbc digest byte-identical
+## to the batch CSV digest (docs/TRACE-FORMAT.md). Set CONVERT_SMOKE_DIR
+## to keep the intermediate files for inspection on failure.
+convert-smoke:
+	$(GO) test ./e2e -run '^TestConvertSmoke' -count=1 -v
 
 ## conform: the statistical conformance gate — generate both systems
 ## across the canonical 32-seed set and check every published statistic
@@ -128,7 +137,7 @@ lint:
 		|| echo "golangci-lint not installed; skipping (CI runs it as a blocking job)"
 
 ## ci: every blocking CI step, in CI's order
-ci: build vet test race conform bench-smoke bench-smoke-selftest sweep-smoke serve-smoke fuzz-smoke
+ci: build vet test race conform bench-smoke bench-smoke-selftest sweep-smoke serve-smoke convert-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_ci.json BENCH_perf.txt PROFILE_gen_cpu.out PROFILE_gen_mem.out CONFORM_report.json COVER_profile.out repro.test

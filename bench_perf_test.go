@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	tsubame "repro"
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/failures"
 	"repro/internal/index"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/synth"
+	"repro/internal/textreport"
 	"repro/internal/trace"
 )
 
@@ -297,6 +300,138 @@ func BenchmarkPerfWriteNDJSON100k(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(buf.Len()))
+}
+
+// perfTSBC renders the 100k log to columnar .tsbc once for the reader
+// benchmark.
+var perfTSBC struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+func perfTSBCBytes(b *testing.B) []byte {
+	b.Helper()
+	log := perfLog(b)
+	perfTSBC.once.Do(func() {
+		var buf bytes.Buffer
+		perfTSBC.err = trace.WriteTSBC(&buf, log)
+		perfTSBC.data = buf.Bytes()
+	})
+	if perfTSBC.err != nil {
+		b.Fatal(perfTSBC.err)
+	}
+	return perfTSBC.data
+}
+
+// BenchmarkPerfWriteTSBC100k measures the columnar encoder: dictionary
+// building, per-block delta/varint columns, and checksumming.
+func BenchmarkPerfWriteTSBC100k(b *testing.B) {
+	log := perfLog(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := trace.WriteTSBC(&buf, log); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkPerfReadTSBC100k is the columnar twin of the CSV/NDJSON
+// reader benchmarks. The perf acceptance criterion pins it at >= 2x
+// faster than BenchmarkPerfReadNDJSON100k: no text parsing, no
+// per-record timestamp formatting, and the dictionary decode amortizes
+// across a block.
+func BenchmarkPerfReadTSBC100k(b *testing.B) {
+	data := perfTSBCBytes(b)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadTSBC(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// perfScale1M scales the Tsubame-3 profile to 338 x 2960 = 1,000,480
+// records, the "1M-record trace" of the streaming-digest acceptance
+// criteria.
+const perfScale1M = 2960
+
+// perf1M lazily renders a 1M-record trace to .tsbc, shared by the
+// streaming-digest benchmark. Only the encoded bytes are retained; the
+// materialized log is released so the benchmark's memory use is the
+// stream's own.
+var perf1M struct {
+	once sync.Once
+	data []byte
+	from time.Time
+	err  error
+}
+
+func perf1MTSBC(b *testing.B) ([]byte, time.Time) {
+	b.Helper()
+	perf1M.once.Do(func() {
+		log, err := synth.Generate(scaledTsubame3Profile(perfScale1M), benchSeed)
+		if err != nil {
+			perf1M.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if perf1M.err = trace.WriteTSBC(&buf, log); perf1M.err != nil {
+			return
+		}
+		perf1M.data = buf.Bytes()
+		_, end, _ := log.Window()
+		perf1M.from = end.AddDate(0, 0, -30)
+	})
+	if perf1M.err != nil {
+		b.Fatal(perf1M.err)
+	}
+	return perf1M.data, perf1M.from
+}
+
+// streamDigestAllocBudget bounds the bytes BenchmarkPerfStreamDigest1M
+// may allocate per digest: block arenas are reused across the ~123
+// blocks, so the total stays around a couple of megabytes — orders of
+// magnitude under the >100 MB that materializing the 1M-record log
+// costs. A failure here means the stream started holding more than one
+// block's worth of state.
+const streamDigestAllocBudget = 32 << 20
+
+// BenchmarkPerfStreamDigest1M gates the constant-memory analysis plane:
+// a full operations digest (with the quantile sketches) over a
+// 1M-record .tsbc trace through the block streamer, asserting the
+// bounded-allocation contract rather than just reporting it.
+func BenchmarkPerfStreamDigest1M(b *testing.B) {
+	data, from := perf1MTSBC(b)
+	b.SetBytes(int64(len(data)))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := trace.NewBlockReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := textreport.StreamDigest(io.Discard, br, from, 30, core.DigestOptions{Quantiles: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("stream digest saw no period records")
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	perOp := (after.TotalAlloc - before.TotalAlloc) / uint64(b.N)
+	if perOp > streamDigestAllocBudget {
+		b.Fatalf("stream digest allocated %d bytes/op, budget %d", perOp, streamDigestAllocBudget)
+	}
+	b.ReportMetric(float64(perOp)/(1<<20), "MB_alloc/op")
 }
 
 // BenchmarkPerfSimTrials measures the multi-trial simulator fan-out with

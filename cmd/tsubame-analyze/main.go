@@ -1,11 +1,14 @@
 // Command tsubame-analyze runs the paper's RQ1-RQ5 analysis battery over
-// a failure log (CSV or NDJSON, as produced by tsubame-gen or converted
-// from an operator's log) and prints the per-system tables and figures.
+// a failure log (CSV, NDJSON, or columnar .tsbc, as produced by
+// tsubame-gen or converted from an operator's log) and prints the
+// per-system tables and figures. The input format is auto-detected from
+// the file extension or the leading bytes; unrecognizable input is a
+// usage error (exit 2).
 //
 // Usage:
 //
 //	tsubame-analyze -in tsubame2.csv
-//	tsubame-gen -system t3 | tsubame-analyze -format csv
+//	tsubame-gen -system t3 -format tsbc | tsubame-analyze
 package main
 
 import (
@@ -25,7 +28,7 @@ func main() {
 	log.SetPrefix("tsubame-analyze: ")
 	var (
 		in        = flag.String("in", "", "input log file (default stdin)")
-		format    = flag.String("format", "", "input format: csv or ndjson (default: from file extension, else csv)")
+		format    = flag.String("format", "auto", "input format: auto, csv, ndjson, or tsbc (auto sniffs extension, then content)")
 		para      = flag.Int("parallel", 0, "analysis worker-pool width (0 = all cores, 1 = sequential)")
 		manifest  = cli.ManifestFlag()
 		debugAddr = cli.DebugAddrFlag()
@@ -52,7 +55,7 @@ func main() {
 	}
 	failureLog, err := cli.ReadLog(r, cli.DetectFormat(*format, name))
 	if err != nil {
-		log.Fatal(err)
+		cli.FatalLoad(err)
 	}
 	study, err := tsubame.AnalyzeParallel(failureLog, *para)
 	if err != nil {

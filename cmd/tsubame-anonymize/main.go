@@ -29,7 +29,7 @@ func main() {
 	var (
 		in         = flag.String("in", "", "input log (default stdin)")
 		out        = flag.String("out", "", "output file (default stdout)")
-		format     = flag.String("format", "", "format: csv or ndjson (default: from extension, else csv)")
+		format     = flag.String("format", "", "format: csv, ndjson, or tsbc (default: from extension, else sniffed)")
 		key        = flag.String("key", "", "pseudonymization key (required)")
 		dropCauses = flag.Bool("drop-causes", false, "remove software root-locus annotations")
 		coarsen    = flag.Bool("coarsen-times", false, "truncate occurrence times to whole days")
@@ -55,10 +55,11 @@ func main() {
 		r = f
 		name = *in
 	}
-	fmtName := cli.DetectFormat(*format, name)
-	failureLog, err := cli.ReadLog(r, fmtName)
+	// ReadLogDetect resolves "auto" to the sniffed format so the output
+	// side stays symmetric with the input.
+	failureLog, fmtName, err := cli.ReadLogDetect(r, cli.DetectFormat(*format, name))
 	if err != nil {
-		log.Fatal(err)
+		cli.FatalLoad(err)
 	}
 	if m := run.Manifest(); m != nil {
 		m.SetRecordCount("records", failureLog.Len())

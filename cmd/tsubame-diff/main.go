@@ -29,8 +29,8 @@ func main() {
 		systemName = flag.String("system", "t2", "system to synthesize when no files are given: t2 or t3")
 		seed       = flag.Int64("seed", 42, "synthetic log seed")
 		splitStr   = flag.String("split", "", "split date YYYY-MM-DD for single-log mode (default: midpoint)")
-		beforePath = flag.String("before", "", "before-period log file")
-		afterPath  = flag.String("after", "", "after-period log file")
+		beforePath = flag.String("before", "", "before-period log file (csv, ndjson, or tsbc)")
+		afterPath  = flag.String("after", "", "after-period log file (csv, ndjson, or tsbc)")
 		alpha      = flag.Float64("alpha", 0.05, "significance level for the improvement verdict")
 		manifest   = cli.ManifestFlag()
 	)
@@ -45,7 +45,7 @@ func main() {
 
 	before, after, err := loadPeriods(*beforePath, *afterPath, *systemName, *seed, *splitStr)
 	if err != nil {
-		log.Fatal(err)
+		cli.FatalLoad(err)
 	}
 	if m := run.Manifest(); m != nil {
 		m.AddSeed(*seed)

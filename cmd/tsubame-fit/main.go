@@ -29,7 +29,7 @@ func main() {
 	var (
 		systemName = flag.String("system", "t2", "system to synthesize when no -in is given: t2 or t3")
 		seed       = flag.Int64("seed", 42, "synthetic log seed")
-		in         = flag.String("in", "", "input CSV log (default: synthetic)")
+		in         = flag.String("in", "", "input log: csv, ndjson, or tsbc, by extension or sniffed (default: synthetic)")
 		minCount   = flag.Int("min", 10, "minimum records for a per-category fit")
 		para       = flag.Int("parallel", 0, "fit worker-pool width (0 = all cores, 1 = sequential)")
 		manifest   = cli.ManifestFlag()
@@ -46,7 +46,7 @@ func main() {
 
 	failureLog, err := cli.LoadLog(*in, *systemName, *seed)
 	if err != nil {
-		log.Fatal(err)
+		cli.FatalLoad(err)
 	}
 	if m := run.Manifest(); m != nil {
 		m.AddSeed(*seed)

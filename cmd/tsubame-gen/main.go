@@ -1,9 +1,11 @@
 // Command tsubame-gen generates calibrated synthetic failure logs for the
-// Tsubame-2 and Tsubame-3 supercomputers and writes them as CSV or NDJSON.
+// Tsubame-2 and Tsubame-3 supercomputers and writes them as CSV, NDJSON,
+// or the binary columnar .tsbc format (docs/TRACE-FORMAT.md).
 //
 // Usage:
 //
 //	tsubame-gen -system t2 -seed 42 -format csv -out tsubame2.csv
+//	tsubame-gen -system t3 -format tsbc -out tsubame3.tsbc
 //	tsubame-gen -system t3 -format ndjson        # stdout
 //	tsubame-gen -system t2 -runs 16 -out 'run-%d.csv'  # seeds 42..57, in parallel
 package main
@@ -35,7 +37,7 @@ func main() {
 		seed          = flag.Int64("seed", 42, "deterministic generator seed (first seed with -runs > 1)")
 		runs          = flag.Int("runs", 1, "logs to generate with consecutive seeds; -out must contain %d")
 		parallelism   = flag.Int("parallel", 0, "worker-pool width for -runs > 1 (0 = all cores, 1 = sequential)")
-		format        = flag.String("format", "csv", "output format: csv or ndjson")
+		format        = flag.String("format", "", "output format: csv, ndjson, or tsbc (default: from -out extension, else csv)")
 		out           = flag.String("out", "", "output file (default stdout); with -runs > 1, a pattern containing %d for the seed")
 		profilePath   = flag.String("profile", "", "custom calibration profile JSON (overrides -system)")
 		exportDefault = flag.Bool("export-profile", false, "print the -system profile as JSON and exit (starting point for -profile)")
@@ -47,6 +49,13 @@ func main() {
 		cli.PositiveInt("runs", *runs),
 		cli.NonNegativeInt("parallel", *parallelism),
 	)
+	// The output format follows the -out extension (also with -runs,
+	// whose pattern keeps the extension); unrecognized or absent
+	// extensions keep the historical CSV default.
+	outFormat := cli.DetectFormat(*format, strings.TrimSuffix(*out, ".gz"))
+	if outFormat == "auto" {
+		outFormat = "csv"
+	}
 	run, err := cli.StartRun("tsubame-gen", *manifest, *debugAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +66,7 @@ func main() {
 	}
 
 	if *runs > 1 {
-		if err := generateRuns(run, *profilePath, *systemName, *seed, *runs, *parallelism, *format, *out); err != nil {
+		if err := generateRuns(run, *profilePath, *systemName, *seed, *runs, *parallelism, outFormat, *out); err != nil {
 			log.Fatal(err)
 		}
 		if err := run.Finish(); err != nil {
@@ -90,7 +99,7 @@ func main() {
 		}()
 		w = f
 	}
-	if err := cli.WriteLog(w, failureLog, *format); err != nil {
+	if err := cli.WriteLog(w, failureLog, outFormat); err != nil {
 		log.Fatal(err)
 	}
 	if *out != "" {

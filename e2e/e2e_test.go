@@ -26,6 +26,7 @@ var tools = []string{
 	"tsubame-anonymize",
 	"tsubame-benchcheck",
 	"tsubame-conform",
+	"tsubame-convert",
 	"tsubame-diff",
 	"tsubame-digest",
 	"tsubame-fit",
@@ -153,6 +154,7 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"tsubame-anonymize", []string{"-in", "testdata/t2-seed42.csv"}}, // missing -key
 		{"tsubame-benchcheck", nil},                                      // missing subcommand
 		{"tsubame-conform", []string{"-seeds", "0"}},
+		{"tsubame-convert", []string{"-in", "testdata/t2-seed42.csv"}}, // stdout needs -format
 		{"tsubame-diff", []string{"-alpha", "2"}},
 		{"tsubame-digest", []string{"-days", "0"}},
 		{"tsubame-fit", []string{"-min", "0"}},

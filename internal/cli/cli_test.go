@@ -2,6 +2,8 @@ package cli
 
 import (
 	"bytes"
+	"compress/gzip"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -37,10 +39,13 @@ func TestDetectFormat(t *testing.T) {
 		explicit, filename, want string
 	}{
 		{"ndjson", "x.csv", "ndjson"}, // explicit wins
+		{"auto", "log.csv", "csv"},    // auto still honors the extension
 		{"", "log.ndjson", "ndjson"},
 		{"", "log.jsonl", "ndjson"},
 		{"", "log.csv", "csv"},
-		{"", "stdin", "csv"},
+		{"", "log.tsbc", "tsbc"},
+		{"", "stdin", "auto"}, // unrecognized names sniff instead of assuming CSV
+		{"", "trace.dat", "auto"},
 	}
 	for _, tt := range tests {
 		if got := DetectFormat(tt.explicit, tt.filename); got != tt.want {
@@ -54,11 +59,12 @@ func TestReadWriteLogFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, format := range []string{"csv", "ndjson"} {
+	for _, format := range []string{"csv", "ndjson", "tsbc"} {
 		var buf bytes.Buffer
 		if err := WriteLog(&buf, log, format); err != nil {
 			t.Fatalf("%s write: %v", format, err)
 		}
+		encoded := append([]byte(nil), buf.Bytes()...)
 		back, err := ReadLog(&buf, format)
 		if err != nil {
 			t.Fatalf("%s read: %v", format, err)
@@ -66,13 +72,133 @@ func TestReadWriteLogFormats(t *testing.T) {
 		if back.Len() != log.Len() {
 			t.Errorf("%s round trip lost records: %d vs %d", format, back.Len(), log.Len())
 		}
+		// Auto-detection must land on the same format and records.
+		auto, detected, err := ReadLogDetect(bytes.NewReader(encoded), "auto")
+		if err != nil {
+			t.Fatalf("auto read of %s: %v", format, err)
+		}
+		if detected != format {
+			t.Errorf("auto read of %s detected %q", format, detected)
+		}
+		if auto.Len() != log.Len() {
+			t.Errorf("auto read of %s lost records: %d vs %d", format, auto.Len(), log.Len())
+		}
 	}
 	var buf bytes.Buffer
 	if err := WriteLog(&buf, log, "xml"); err == nil {
 		t.Error("unknown write format should fail")
 	}
+	if err := WriteLog(&buf, log, "auto"); err == nil {
+		t.Error("auto is not a write format")
+	}
 	if _, err := ReadLog(&buf, "xml"); err == nil {
 		t.Error("unknown read format should fail")
+	}
+}
+
+func TestSniffFormat(t *testing.T) {
+	tests := []struct {
+		name   string
+		prefix string
+		want   string
+		ok     bool
+	}{
+		{"tsbc magic", "TSBC\x01\x01\x00\x00", "tsbc", true},
+		{"ndjson", `{"id":1,"system":"TSUBAME2.5"}`, "ndjson", true},
+		{"ndjson leading space", "\n {\"id\":1}", "ndjson", true},
+		{"csv header", "id,system,time,recovery_hours,category\n1,...", "csv", true},
+		{"csv with BOM", "\xef\xbb\xbfid,system\n", "csv", true},
+		{"empty", "", "", false},
+		{"whitespace only", " \n\t", "", false},
+		{"binary junk", "\x00\x01\x02\x03 garbage", "", false},
+		{"prose line", "hello world\nmore,commas later", "", false},
+	}
+	for _, tt := range tests {
+		got, err := SniffFormat([]byte(tt.prefix))
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("%s: SniffFormat = %q, %v; want %q", tt.name, got, err, tt.want)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("%s: SniffFormat = %q, want ErrUnknownFormat", tt.name, got)
+		}
+	}
+}
+
+func TestOpenLogSniffsContent(t *testing.T) {
+	log, err := synth.Generate(synth.Tsubame3Profile(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Extension-free file holding a .tsbc trace: only sniffing finds it.
+	path := filepath.Join(dir, "trace.bin")
+	var buf bytes.Buffer
+	if err := trace.WriteTSBC(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, format, closeFn, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	if format != "tsbc" {
+		t.Fatalf("OpenLog format = %q, want tsbc", format)
+	}
+	back, err := trace.ReadTSBC(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != log.Len() {
+		t.Errorf("OpenLog tsbc read = %d records, want %d", back.Len(), log.Len())
+	}
+
+	// Unrecognizable content is the usage-class sentinel.
+	junk := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(junk, []byte("no recognizable format here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenLog(junk); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("OpenLog(junk) err = %v, want ErrUnknownFormat", err)
+	}
+}
+
+func TestLoadLogFileTSBCAndGzip(t *testing.T) {
+	log, err := synth.Generate(synth.Tsubame2Profile(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := trace.WriteTSBC(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "log.tsbc")
+	if err := os.WriteFile(plain, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	zipped := filepath.Join(dir, "log.tsbc.gz")
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(zipped, zbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{plain, zipped} {
+		back, err := LoadLogFile(path)
+		if err != nil {
+			t.Fatalf("LoadLogFile(%s): %v", path, err)
+		}
+		if back.Len() != log.Len() {
+			t.Errorf("LoadLogFile(%s) = %d records, want %d", path, back.Len(), log.Len())
+		}
 	}
 }
 

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/stats"
+)
+
+// DigestOptions selects optional sections of the operations digest.
+type DigestOptions struct {
+	// Quantiles adds the recovery-quantile line (mean/sd from an exact
+	// Welford accumulator, p50/p90/p99 from a t-digest sketch). Off by
+	// default: the section is sketch-derived and the default digest is
+	// pinned byte-for-byte by the e2e goldens.
+	Quantiles bool
+}
+
+// digestTopRepairs is how many longest repairs the digest lists.
+const digestTopRepairs = 5
+
+// DigestSummary is everything the digest renderer needs, computed by a
+// DigestAccumulator in one chronological pass over the records. Both the
+// batch path (DigestFromLog) and the streaming path
+// (textreport.StreamDigest driving a trace.BlockReader) produce their
+// summaries through the same accumulator, so the two reports are
+// byte-identical by construction — the same floating-point accumulations
+// in the same order.
+type DigestSummary struct {
+	System   failures.System
+	From, To time.Time
+	Days     int
+
+	// Period [From, To).
+	PeriodCount  int
+	PeriodMTTR   float64 // mean recovery hours; valid when PeriodCount > 0
+	PeriodMTBF   float64 // mean inter-arrival hours
+	PeriodMTBFOK bool    // PeriodCount >= 2
+
+	// History (strictly before From).
+	HistoryCount int
+	HistoryMTTR  float64       // 0 when no history, matching Log.MTTRHours
+	HistorySpan  time.Duration // last minus first history record time
+
+	ByCategory map[failures.Category]int
+	ByNode     map[string]int
+
+	// TopRepairs holds the period's longest repairs (at most
+	// digestTopRepairs), ordered by recovery descending with
+	// deterministic ties (earlier time, then smaller ID, first).
+	TopRepairs []failures.Failure
+
+	MultiGPUCount int
+	LastMultiGPU  time.Time
+
+	// Recovery sketch results, populated when DigestOptions.Quantiles
+	// (HasQuantiles reports which).
+	HasQuantiles                          bool
+	RecoveryMean, RecoveryStdDev          float64
+	RecoveryP50, RecoveryP90, RecoveryP99 float64
+}
+
+// DigestAccumulator folds a chronologically ordered record stream into a
+// DigestSummary using O(1) state per record: scalar running sums, the
+// category/node count maps (bounded by taxonomy and fleet size, not
+// record count), a fixed-size top-repairs list, and — when quantiles are
+// requested — constant-size sketches. Records must arrive in canonical
+// log order (ascending time); a validated Log or a .tsbc BlockReader
+// both guarantee that.
+type DigestAccumulator struct {
+	summary DigestSummary
+	opts    DigestOptions
+
+	periodRecoverySum   float64
+	historyRecoverySum  float64
+	gapSum              float64
+	prevPeriodTime      time.Time
+	histFirst, histLast time.Time
+
+	welford stats.Welford
+	tdigest *stats.TDigest
+}
+
+// NewDigestAccumulator starts an accumulator for the digest period
+// [from, from+days) of a system's record stream.
+func NewDigestAccumulator(system failures.System, from time.Time, days int, opts DigestOptions) *DigestAccumulator {
+	acc := &DigestAccumulator{
+		summary: DigestSummary{
+			System:     system,
+			From:       from,
+			To:         from.AddDate(0, 0, days),
+			Days:       days,
+			ByCategory: make(map[failures.Category]int),
+			ByNode:     make(map[string]int),
+		},
+		opts: opts,
+	}
+	if opts.Quantiles {
+		acc.tdigest = stats.NewTDigest(0)
+	}
+	return acc
+}
+
+// To returns the exclusive end of the digest period; a streaming caller
+// stops reading once its blocks start at or after this instant.
+func (a *DigestAccumulator) To() time.Time { return a.summary.To }
+
+// Observe folds one record into the accumulator. Records at or after the
+// period end are ignored, so a caller may feed the whole log; feeding
+// records out of chronological order corrupts the inter-arrival sums.
+func (a *DigestAccumulator) Observe(f failures.Failure) {
+	s := &a.summary
+	if f.Time.Before(s.From) {
+		// History: count, recovery sum, and span bounds.
+		if s.HistoryCount == 0 {
+			a.histFirst = f.Time
+		}
+		a.histLast = f.Time
+		s.HistoryCount++
+		a.historyRecoverySum += f.Recovery.Hours()
+		return
+	}
+	if !f.Time.Before(s.To) {
+		return
+	}
+
+	// Period record. The float accumulations below mirror
+	// Log.MTTRHours/MTBFHours exactly — same order, same operations —
+	// which is what keeps batch and streaming digests byte-identical.
+	if s.PeriodCount > 0 {
+		a.gapSum += f.Time.Sub(a.prevPeriodTime).Hours()
+	}
+	a.prevPeriodTime = f.Time
+	s.PeriodCount++
+	rec := f.Recovery.Hours()
+	a.periodRecoverySum += rec
+	s.ByCategory[f.Category]++
+	if f.Node != "" {
+		s.ByNode[f.Node]++
+	}
+	if f.MultiGPU() {
+		s.MultiGPUCount++
+		s.LastMultiGPU = f.Time
+	}
+	a.observeTopRepair(f)
+	if a.opts.Quantiles {
+		a.welford.Observe(rec)
+		a.tdigest.Observe(rec)
+	}
+}
+
+// repairLess is the deterministic longest-repairs order: recovery
+// descending, ties by earlier occurrence then smaller ID.
+func repairLess(a, b failures.Failure) bool {
+	if a.Recovery != b.Recovery {
+		return a.Recovery > b.Recovery
+	}
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return a.ID < b.ID
+}
+
+// observeTopRepair inserts f into the bounded top-repairs list if it
+// ranks. The retained copy drops its GPUs slice: a streaming caller's
+// slice aliases a block arena that is reused, and the digest never
+// prints GPU slots.
+func (a *DigestAccumulator) observeTopRepair(f failures.Failure) {
+	top := a.summary.TopRepairs
+	if len(top) == digestTopRepairs && !repairLess(f, top[len(top)-1]) {
+		return
+	}
+	f.GPUs = nil
+	i := sort.Search(len(top), func(i int) bool { return repairLess(f, top[i]) })
+	if len(top) < digestTopRepairs {
+		top = append(top, failures.Failure{})
+	}
+	copy(top[i+1:], top[i:])
+	top[i] = f
+	a.summary.TopRepairs = top
+}
+
+// Finalize completes the summary. An empty period is an error, matching
+// the batch digest's contract.
+func (a *DigestAccumulator) Finalize() (*DigestSummary, error) {
+	s := &a.summary
+	if s.PeriodCount == 0 {
+		return nil, fmt.Errorf("no failures between %s and %s",
+			s.From.Format("2006-01-02"), s.To.Format("2006-01-02"))
+	}
+	s.PeriodMTTR = a.periodRecoverySum / float64(s.PeriodCount)
+	if s.PeriodCount >= 2 {
+		s.PeriodMTBF = a.gapSum / float64(s.PeriodCount-1)
+		s.PeriodMTBFOK = true
+	}
+	if s.HistoryCount > 0 {
+		s.HistoryMTTR = a.historyRecoverySum / float64(s.HistoryCount)
+		s.HistorySpan = a.histLast.Sub(a.histFirst)
+	}
+	if a.opts.Quantiles {
+		s.HasQuantiles = true
+		s.RecoveryMean = a.welford.Mean()
+		s.RecoveryStdDev = a.welford.StdDev()
+		s.RecoveryP50 = a.tdigest.Quantile(0.50)
+		s.RecoveryP90 = a.tdigest.Quantile(0.90)
+		s.RecoveryP99 = a.tdigest.Quantile(0.99)
+	}
+	return s, nil
+}
+
+// DigestFromLog computes the digest summary of the period
+// [from, from+days) of log — the batch path: one pass over the
+// already-materialized records through the same accumulator the
+// streaming path uses.
+func DigestFromLog(log *failures.Log, from time.Time, days int, opts DigestOptions) (*DigestSummary, error) {
+	acc := NewDigestAccumulator(log.System(), from, days, opts)
+	for i, n := 0, log.Len(); i < n; i++ {
+		acc.Observe(log.At(i))
+	}
+	return acc.Finalize()
+}

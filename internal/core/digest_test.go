@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// digestRecord builds a minimal valid Tsubame-2 record.
+func digestRecord(id int, at time.Time, recovery time.Duration) failures.Failure {
+	return failures.Failure{
+		ID: id, System: failures.Tsubame2, Time: at,
+		Recovery: recovery, Category: failures.CatGPU, GPUs: []int{0},
+	}
+}
+
+func TestDigestAccumulatorPeriodBounds(t *testing.T) {
+	from := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	acc := NewDigestAccumulator(failures.Tsubame2, from, 30, DigestOptions{})
+	to := acc.To()
+	acc.Observe(digestRecord(1, from.Add(-time.Hour), time.Hour))   // history
+	acc.Observe(digestRecord(2, from, 2*time.Hour))                 // first period record (inclusive)
+	acc.Observe(digestRecord(3, to.Add(-time.Second), 4*time.Hour)) // last period record
+	acc.Observe(digestRecord(4, to, 8*time.Hour))                   // at To: excluded
+	acc.Observe(digestRecord(5, to.Add(time.Hour), 16*time.Hour))   // past To: excluded
+	s, err := acc.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeriodCount != 2 || s.HistoryCount != 1 {
+		t.Fatalf("period %d history %d, want 2/1", s.PeriodCount, s.HistoryCount)
+	}
+	if want := (2.0 + 4.0) / 2; s.PeriodMTTR != want {
+		t.Errorf("period MTTR %g, want %g", s.PeriodMTTR, want)
+	}
+	if s.HistoryMTTR != 1 {
+		t.Errorf("history MTTR %g, want 1", s.HistoryMTTR)
+	}
+	if !s.PeriodMTBFOK {
+		t.Error("two period records should yield an MTBF")
+	}
+}
+
+func TestDigestAccumulatorEmptyPeriod(t *testing.T) {
+	from := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	acc := NewDigestAccumulator(failures.Tsubame2, from, 30, DigestOptions{})
+	acc.Observe(digestRecord(1, from.Add(-time.Hour), time.Hour)) // history only
+	if _, err := acc.Finalize(); err == nil {
+		t.Fatal("empty period must be an error")
+	} else if got := err.Error(); got != "no failures between 2012-06-01 and 2012-07-01" {
+		t.Errorf("error text changed: %q", got)
+	}
+}
+
+// TestDigestTopRepairsDeterministicTies pins the longest-repairs order
+// under heavy ties: recovery descending, then earlier time, then
+// smaller ID — regardless of observation interleaving.
+func TestDigestTopRepairsDeterministicTies(t *testing.T) {
+	from := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	recs := []failures.Failure{
+		digestRecord(10, from.Add(1*time.Hour), 5*time.Hour),
+		digestRecord(11, from.Add(2*time.Hour), 5*time.Hour), // tie on recovery: later time loses
+		digestRecord(12, from.Add(2*time.Hour), 5*time.Hour), // tie on time too: larger ID loses
+		digestRecord(13, from.Add(3*time.Hour), 9*time.Hour),
+		digestRecord(14, from.Add(4*time.Hour), time.Hour),
+		digestRecord(15, from.Add(5*time.Hour), 5*time.Hour),
+		digestRecord(16, from.Add(6*time.Hour), 7*time.Hour),
+	}
+	acc := NewDigestAccumulator(failures.Tsubame2, from, 30, DigestOptions{})
+	for _, r := range recs {
+		acc.Observe(r)
+	}
+	s, err := acc.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []int{13, 16, 10, 11, 12}
+	if len(s.TopRepairs) != len(wantIDs) {
+		t.Fatalf("top repairs = %d entries, want %d", len(s.TopRepairs), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if s.TopRepairs[i].ID != want {
+			t.Errorf("top[%d] = record %d, want %d", i, s.TopRepairs[i].ID, want)
+		}
+	}
+	if !sort.SliceIsSorted(s.TopRepairs, func(i, j int) bool {
+		return repairLess(s.TopRepairs[i], s.TopRepairs[j])
+	}) {
+		t.Error("top repairs not in repairLess order")
+	}
+}
+
+// TestDigestQuantilesWithinTolerance compares the digest's sketch-based
+// recovery statistics against the exact batch statistics: Welford mean
+// and standard deviation are exact (1e-9 relative), t-digest quantiles
+// are within the documented ~1% rank-error bound.
+func TestDigestQuantilesWithinTolerance(t *testing.T) {
+	log, err := synth.Generate(synth.Tsubame3Profile(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, _, _ := log.Window()
+	s, err := DigestFromLog(log, start, 10000, DigestOptions{Quantiles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeriodCount != log.Len() {
+		t.Fatalf("period covers %d of %d records", s.PeriodCount, log.Len())
+	}
+	hours := log.RecoveryHours()
+	if rel := math.Abs(s.RecoveryMean-stats.Mean(hours)) / stats.Mean(hours); rel > 1e-9 {
+		t.Errorf("sketch mean %g vs exact %g", s.RecoveryMean, stats.Mean(hours))
+	}
+	if rel := math.Abs(s.RecoveryStdDev-stats.StdDev(hours)) / stats.StdDev(hours); rel > 1e-9 {
+		t.Errorf("sketch sd %g vs exact %g", s.RecoveryStdDev, stats.StdDev(hours))
+	}
+	sorted := append([]float64(nil), hours...)
+	sort.Float64s(sorted)
+	rankOf := func(x float64) float64 {
+		return float64(sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))) / float64(len(sorted))
+	}
+	for _, probe := range []struct {
+		p   float64
+		got float64
+	}{{0.5, s.RecoveryP50}, {0.9, s.RecoveryP90}, {0.99, s.RecoveryP99}} {
+		// Recovery values sit on a coarse grid, so rank can jump between
+		// adjacent representable values: accept the sketch value if the
+		// exact quantile's own rank is equally far (grid plateau) or the
+		// rank error is inside the t-digest bound with 2x headroom.
+		exact := quantileExact(sorted, probe.p)
+		tol := 2 * 4 * probe.p * (1 - probe.p) / stats.DefaultTDigestCompression
+		if tol < 0.01 {
+			tol = 0.01
+		}
+		if math.Abs(rankOf(probe.got)-rankOf(exact)) > tol {
+			t.Errorf("p%v: sketch %g (rank %g) vs exact %g (rank %g), tol %g",
+				probe.p, probe.got, rankOf(probe.got), exact, rankOf(exact), tol)
+		}
+	}
+}
+
+// quantileExact is the type-7 quantile of a sorted sample.
+func quantileExact(sorted []float64, p float64) float64 {
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

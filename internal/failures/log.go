@@ -30,6 +30,32 @@ func NewLog(system System, records []Failure) (*Log, error) {
 	return &Log{system: system, records: sorted}, nil
 }
 
+// NewLogSorted builds a log from records already in ascending (time, ID)
+// order with UTC occurrence times — the contract a .tsbc block stream
+// certifies, since its writer rejects out-of-order appends and its times
+// are decoded as UTC instants. Each record is still validated, and the
+// ordering is verified, in one linear pass; unlike NewLog the slice is
+// taken over without a copy or a sort, so bulk decoders skip the
+// dominant O(n log n) + O(n)-copy cost. The caller must not retain the
+// slice.
+func NewLogSorted(system System, records []Failure) (*Log, error) {
+	if !system.Valid() {
+		return nil, fmt.Errorf("failures: invalid system %d", int(system))
+	}
+	for i := range records {
+		if records[i].System != system {
+			return nil, fmt.Errorf("failures: record %d belongs to %v, log is for %v", records[i].ID, records[i].System, system)
+		}
+		if err := records[i].Validate(); err != nil {
+			return nil, err
+		}
+		if i > 0 && chronoLess(records[i], records[i-1]) {
+			return nil, fmt.Errorf("failures: sorted run is unsorted at index %d (record %d)", i, records[i].ID)
+		}
+	}
+	return &Log{system: system, records: records}, nil
+}
+
 // SortBatch validates records for system, normalizes occurrence times to
 // UTC, and returns them as a standalone ascending (time, ID)-sorted run —
 // the unit of incremental ingest. The input slice is not mutated. Cost is

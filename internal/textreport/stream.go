@@ -1,0 +1,47 @@
+package textreport
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// StreamDigest writes the tsubame-digest operations report for the
+// period [from, from+days) of a .tsbc trace, reading block by block in
+// O(block) memory: the records never materialize as a log. The report
+// is byte-identical to Digest over the same records — both paths fold
+// through one core.DigestAccumulator (same floating-point operations in
+// the same order) and one renderer; the only approximation anywhere is
+// the optional quantile sketch, which batch and stream share too.
+//
+// Blocks are chronologically ordered with trustworthy min-time stats
+// (the writer enforces record order), so reading stops early at the
+// first block entirely past the period end; blocks after that point are
+// not decoded or checksummed.
+func StreamDigest(w io.Writer, br *trace.BlockReader, from time.Time, days int, opts core.DigestOptions) (periodRecords int, err error) {
+	acc := core.NewDigestAccumulator(br.System(), from, days, opts)
+	to := acc.To()
+	for {
+		blk, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if !blk.Stats().MinTime.Before(to) {
+			break // sorted trace: every remaining record is past the period
+		}
+		for i, n := 0, blk.Len(); i < n; i++ {
+			acc.Observe(blk.Record(i))
+		}
+	}
+	summary, err := acc.Finalize()
+	if err != nil {
+		return 0, err
+	}
+	renderDigest(w, summary)
+	return summary.PeriodCount, nil
+}

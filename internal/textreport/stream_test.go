@@ -1,0 +1,166 @@
+package textreport
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failures"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// digestTestLog generates a deterministic log; factor > 1 scales the
+// Tsubame-3 profile so the .tsbc encoding spans multiple 8k blocks.
+func digestTestLog(t *testing.T, system failures.System, factor int, seed int64) *failures.Log {
+	t.Helper()
+	var profile *synth.Profile
+	if system == failures.Tsubame3 && factor > 1 {
+		profile = synth.Tsubame3Profile()
+		for i := range profile.Categories {
+			profile.Categories[i].Count *= factor
+		}
+		for i := range profile.SoftwareCauses {
+			profile.SoftwareCauses[i].Count *= factor
+		}
+		profile.NodeCount *= factor
+		profile.SoftwareOnMultiNodes *= factor
+	} else {
+		var err error
+		profile, err = synth.ProfileFor(system)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	log, err := synth.Generate(profile, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// streamDigestOf runs StreamDigest over the log's .tsbc encoding.
+func streamDigestOf(t *testing.T, log *failures.Log, from time.Time, days int, opts core.DigestOptions) (string, int, error) {
+	t.Helper()
+	var encoded bytes.Buffer
+	if err := trace.WriteTSBC(&encoded, log); err != nil {
+		t.Fatal(err)
+	}
+	br, err := trace.NewBlockReader(bytes.NewReader(encoded.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := StreamDigest(&out, br, from, days, opts)
+	return out.String(), n, err
+}
+
+// TestStreamDigestByteIdenticalToBatch is the streaming path's core
+// contract: over the same records, StreamDigest and the batch Digest
+// write the same bytes — across systems, period placements, block
+// counts, and the optional quantile section.
+func TestStreamDigestByteIdenticalToBatch(t *testing.T) {
+	type config struct {
+		name   string
+		system failures.System
+		factor int
+		fromFn func(*failures.Log) time.Time
+		days   int
+	}
+	startOf := func(log *failures.Log) time.Time { s, _, _ := log.Window(); return s }
+	midOf := func(log *failures.Log) time.Time {
+		s, e, _ := log.Window()
+		return s.Add(e.Sub(s) / 2)
+	}
+	configs := []config{
+		{"t2 default period", failures.Tsubame2, 1, func(l *failures.Log) time.Time { return DefaultDigestFrom(l, 30) }, 30},
+		{"t3 default period", failures.Tsubame3, 1, func(l *failures.Log) time.Time { return DefaultDigestFrom(l, 30) }, 30},
+		{"t2 no history", failures.Tsubame2, 1, startOf, 10000},
+		{"t3 mid split", failures.Tsubame3, 1, midOf, 90},
+		{"t3 multi-block", failures.Tsubame3, 30, midOf, 60},
+		{"t3 multi-block default", failures.Tsubame3, 30, func(l *failures.Log) time.Time { return DefaultDigestFrom(l, 30) }, 30},
+	}
+	for _, cfg := range configs {
+		for _, opts := range []core.DigestOptions{{}, {Quantiles: true}} {
+			name := cfg.name
+			if opts.Quantiles {
+				name += " quantiles"
+			}
+			t.Run(name, func(t *testing.T) {
+				log := digestTestLog(t, cfg.system, cfg.factor, 42)
+				from := cfg.fromFn(log)
+				var batch bytes.Buffer
+				wantN, err := DigestOpts(&batch, log, from, cfg.days, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stream, gotN, err := streamDigestOf(t, log, from, cfg.days, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotN != wantN {
+					t.Errorf("period records: stream %d vs batch %d", gotN, wantN)
+				}
+				if stream != batch.String() {
+					t.Errorf("stream digest differs from batch:\n--- batch ---\n%s\n--- stream ---\n%s", batch.String(), stream)
+				}
+				if opts.Quantiles && !strings.Contains(stream, "Recovery quantiles:") {
+					t.Error("quantile section missing")
+				}
+				if !opts.Quantiles && strings.Contains(stream, "Recovery quantiles:") {
+					t.Error("quantile section present without opt-in")
+				}
+			})
+		}
+	}
+}
+
+// TestStreamDigestEmptyPeriod pins that both paths reject an empty
+// period with the same error text.
+func TestStreamDigestEmptyPeriod(t *testing.T) {
+	log := digestTestLog(t, failures.Tsubame2, 1, 42)
+	_, end, _ := log.Window()
+	from := end.AddDate(1, 0, 0)
+	var buf bytes.Buffer
+	_, batchErr := Digest(&buf, log, from, 30)
+	if batchErr == nil {
+		t.Fatal("batch digest of empty period should fail")
+	}
+	_, _, streamErr := streamDigestOf(t, log, from, 30, core.DigestOptions{})
+	if streamErr == nil {
+		t.Fatal("stream digest of empty period should fail")
+	}
+	if batchErr.Error() != streamErr.Error() {
+		t.Errorf("error mismatch: batch %q vs stream %q", batchErr, streamErr)
+	}
+	if buf.Len() != 0 {
+		t.Error("failed digest must write nothing")
+	}
+}
+
+// TestStreamDigestManyBlocks sanity-checks the multi-block path with a
+// tiny period deep in the trace (early blocks are history, late blocks
+// are past the period and never decoded).
+func TestStreamDigestManyBlocks(t *testing.T) {
+	log := digestTestLog(t, failures.Tsubame3, 30, 7)
+	s, e, _ := log.Window()
+	from := s.Add(3 * e.Sub(s) / 4)
+	var batch bytes.Buffer
+	wantN, err := Digest(&batch, log, from, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, gotN, err := streamDigestOf(t, log, from, 7, core.DigestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN || stream != batch.String() {
+		t.Errorf("deep-period stream digest differs (n %d vs %d)", gotN, wantN)
+	}
+	if !strings.Contains(stream, fmt.Sprintf("Failures this period: %d", wantN)) {
+		t.Errorf("headline missing period count %d:\n%s", wantN, stream)
+	}
+}

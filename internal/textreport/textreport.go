@@ -75,43 +75,57 @@ func DefaultDigestFrom(log *failures.Log, days int) time.Time {
 // period (the callers' manifests record it). An empty period is an
 // error; nothing is written then.
 func Digest(w io.Writer, log *failures.Log, from time.Time, days int) (periodRecords int, err error) {
-	to := from.AddDate(0, 0, days)
-	history, restAfter := log.SplitAt(from)
-	period, _ := restAfter.SplitAt(to)
-	if period.Len() == 0 {
-		return 0, fmt.Errorf("no failures between %s and %s", from.Format("2006-01-02"), to.Format("2006-01-02"))
-	}
+	return DigestOpts(w, log, from, days, core.DigestOptions{})
+}
 
+// DigestOpts is Digest with optional sections (the -quantiles line).
+// Batch and streaming digests share one accumulator and one renderer,
+// so StreamDigest over a .tsbc trace of the same records produces these
+// exact bytes.
+func DigestOpts(w io.Writer, log *failures.Log, from time.Time, days int, opts core.DigestOptions) (periodRecords int, err error) {
+	summary, err := core.DigestFromLog(log, from, days, opts)
+	if err != nil {
+		return 0, err
+	}
+	renderDigest(w, summary)
+	return summary.PeriodCount, nil
+}
+
+// renderDigest writes the operations report for a finalized summary.
+// The e2e goldens pin these bytes; every section reads only the
+// DigestSummary, never the log, so the streaming path renders
+// identically.
+func renderDigest(w io.Writer, s *core.DigestSummary) {
 	fmt.Fprintf(w, "Operations digest: %v, %s .. %s (%d days)\n\n",
-		log.System(), from.Format("2006-01-02"), to.Format("2006-01-02"), days)
+		s.System, s.From.Format("2006-01-02"), s.To.Format("2006-01-02"), s.Days)
 
 	// Headline counts and period-over-history comparison.
-	fmt.Fprintf(w, "Failures this period: %d", period.Len())
-	if history.Len() > 1 {
-		historyDays := history.Span().Hours() / 24
+	fmt.Fprintf(w, "Failures this period: %d", s.PeriodCount)
+	if s.HistoryCount > 1 {
+		historyDays := s.HistorySpan.Hours() / 24
 		if historyDays > 0 {
-			expected := float64(history.Len()) / historyDays * float64(days)
+			expected := float64(s.HistoryCount) / historyDays * float64(s.Days)
 			fmt.Fprintf(w, " (history-rate expectation: %.0f)", expected)
 		}
 	}
 	fmt.Fprintln(w)
-	if mttr, ok := period.MTTRHours(); ok {
-		histMTTR, _ := history.MTTRHours()
-		fmt.Fprintf(w, "MTTR this period: %.1f h (history: %.1f h)\n", mttr, histMTTR)
+	fmt.Fprintf(w, "MTTR this period: %.1f h (history: %.1f h)\n", s.PeriodMTTR, s.HistoryMTTR)
+	if s.PeriodMTBFOK {
+		fmt.Fprintf(w, "MTBF this period: %.1f h\n", s.PeriodMTBF)
 	}
-	if mtbf, ok := period.MTBFHours(); ok {
-		fmt.Fprintf(w, "MTBF this period: %.1f h\n", mtbf)
+	if s.HasQuantiles {
+		fmt.Fprintf(w, "Recovery quantiles: mean %.1f h, sd %.1f h, p50 %.1f h, p90 %.1f h, p99 %.1f h\n",
+			s.RecoveryMean, s.RecoveryStdDev, s.RecoveryP50, s.RecoveryP90, s.RecoveryP99)
 	}
 
 	// Category mix of the period.
 	fmt.Fprintln(w, "\nFailures by category:")
-	byCat := period.ByCategory()
 	type catRow struct {
 		cat failures.Category
 		n   int
 	}
 	var rows []catRow
-	for cat, n := range byCat {
+	for cat, n := range s.ByCategory {
 		rows = append(rows, catRow{cat, n})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -125,13 +139,12 @@ func Digest(w io.Writer, log *failures.Log, from time.Time, days int) (periodRec
 	}
 
 	// Worst nodes of the period.
-	byNode := period.ByNode()
 	type nodeRow struct {
 		node string
 		n    int
 	}
 	var nodes []nodeRow
-	for node, n := range byNode {
+	for node, n := range s.ByNode {
 		if n >= 2 {
 			nodes = append(nodes, nodeRow{node, n})
 		}
@@ -154,28 +167,20 @@ func Digest(w io.Writer, log *failures.Log, from time.Time, days int) (periodRec
 	}
 
 	// Longest repairs of the period.
-	records := period.Records()
-	sort.Slice(records, func(i, j int) bool { return records[i].Recovery > records[j].Recovery })
 	fmt.Fprintln(w, "\nLongest repairs:")
-	for i, r := range records {
-		if i == 5 {
-			break
-		}
+	for _, r := range s.TopRepairs {
 		fmt.Fprintf(w, "  %-14s %6.1f h  (node %s, %s)\n",
 			r.Category, r.Recovery.Hours(), orDash(r.Node), r.Time.Format("2006-01-02"))
 	}
 
 	// Multi-GPU alarm state at the period end.
-	multi := period.Filter(func(f failures.Failure) bool { return f.MultiGPU() })
-	if multi.Len() > 0 {
-		_, lastMulti, _ := multi.Window()
+	if s.MultiGPUCount > 0 {
 		fmt.Fprintf(w, "\nMulti-GPU failures this period: %d (last on %s).\n",
-			multi.Len(), lastMulti.Format("2006-01-02"))
-		if to.Sub(lastMulti) <= 72*time.Hour {
+			s.MultiGPUCount, s.LastMultiGPU.Format("2006-01-02"))
+		if s.To.Sub(s.LastMultiGPU) <= 72*time.Hour {
 			fmt.Fprintln(w, "ALERT: inside the 72 h multi-GPU clustering window — expect follow-ups (Figure 8).")
 		}
 	}
-	return period.Len(), nil
 }
 
 // Diff writes the tsubame-diff period-comparison report for a computed

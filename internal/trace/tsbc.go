@@ -1,0 +1,1019 @@
+// The .tsbc ("TSuBame Columnar") binary trace format: the 100M-record
+// data plane of docs/TRACE-FORMAT.md. A file is a self-describing header
+// (magic, version, system, category/cause dictionaries) followed by
+// fixed-capacity blocks of up to tsbcBlockRecords records, each framed by
+// a byte-length prefix and a CRC so readers can skip, resynchronize, and
+// detect corruption without decoding. Every block carries count/min/max
+// statistics (time window, recovery range, category bitmask) for
+// predicate pushdown, then per-field column arenas: delta-encoded record
+// IDs and timestamps, raw recovery durations, and dictionary indices for
+// the categorical fields. BlockWriter and BlockReader never hold more
+// than one block in memory, which is what makes the constant-memory
+// streaming analyses (textreport.StreamDigest) possible.
+//
+// Files are canonically chronologically ordered: BlockWriter rejects
+// out-of-order appends, so block time windows are disjoint and ascending
+// and a reader can stop as soon as a block starts past its time bound.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"repro/internal/failures"
+	"repro/internal/obs"
+)
+
+const (
+	// tsbcMagic opens every .tsbc file; tsbcTail closes it, after the
+	// end frame, so truncation is always detectable.
+	tsbcMagic = "TSBC"
+	tsbcTail  = "CBST"
+
+	// tsbcVersion is the format version this package writes and the only
+	// one it accepts.
+	tsbcVersion = 1
+
+	// tsbcBlockRecords is the writer's block capacity. Readers accept up
+	// to tsbcMaxBlockRecords per block for forward compatibility, but
+	// never more — the bound is what caps a streaming consumer's memory.
+	tsbcBlockRecords    = 8192
+	tsbcMaxBlockRecords = 1 << 16
+
+	// tsbcMaxFrameBytes bounds a single block frame. A frame holding
+	// tsbcMaxBlockRecords of worst-case records stays far below this;
+	// anything larger is corruption, rejected before buffering.
+	tsbcMaxFrameBytes = 1 << 26
+
+	// tsbcMaxDictEntries and tsbcMaxDictString clamp the header
+	// dictionaries, so a corrupt count cannot pre-size a huge table
+	// (the PR-8 ingest lesson: never trust a length field further than
+	// the bytes backing it).
+	tsbcMaxDictEntries = 1024
+	tsbcMaxDictString  = 4096
+
+	// tsbcMaxGPUs bounds one record's GPU slot list. Valid records carry
+	// at most GPUsPerNode (4); the slack tolerates future topologies.
+	tsbcMaxGPUs = 64
+)
+
+// tsbcCRC is the block checksum polynomial (Castagnoli, hardware-
+// accelerated on amd64/arm64).
+var tsbcCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// zigzag maps signed to unsigned so small negative values stay small in
+// varint form; unzigzag inverts it.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// BlockStats is the per-block summary carried in every block frame:
+// enough for a reader to decide whether any record in the block can
+// match a time-range or category predicate without decoding the columns.
+type BlockStats struct {
+	// Count is the number of records in the block (1..tsbcMaxBlockRecords).
+	Count int
+	// MinTime and MaxTime bound the block's occurrence times (UTC).
+	// Files are chronologically sorted, so windows ascend across blocks.
+	MinTime, MaxTime time.Time
+	// MinRecovery and MaxRecovery bound the block's recovery durations.
+	MinRecovery, MaxRecovery time.Duration
+	// Categories is a bitmask over the header category dictionary: bit i
+	// set means at least one record of category dictionary[i] is present.
+	Categories uint64
+}
+
+// overlaps reports whether the block can contain a record matching the
+// filter. Zero filter times mean unbounded on that side; To is exclusive
+// (the digest convention: records at or after To are out of period).
+func (s BlockStats) overlaps(f *BlockFilter) bool {
+	if f == nil {
+		return true
+	}
+	if !f.From.IsZero() && s.MaxTime.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !s.MinTime.Before(f.To) {
+		return false
+	}
+	if f.mask != 0 && s.Categories&f.mask == 0 {
+		return false
+	}
+	return true
+}
+
+// BlockFilter is a predicate-pushdown filter for BlockReader: blocks
+// whose statistics cannot match are skipped without decoding their
+// columns. Set via BlockReader.SetFilter.
+type BlockFilter struct {
+	// From (inclusive) and To (exclusive) bound occurrence times; zero
+	// values leave that side unbounded.
+	From, To time.Time
+	// Categories restricts to blocks containing at least one of the
+	// listed categories; nil means all.
+	Categories []failures.Category
+
+	mask uint64
+}
+
+// BlockWriter streams a failure log into the .tsbc format, holding at
+// most one block of column arenas in memory. Records must be appended in
+// canonical log order (occurrence time, ties by ID) and belong to the
+// writer's system; Close flushes the final partial block and the end
+// frame. BlockWriter does not close the underlying writer.
+type BlockWriter struct {
+	w      io.Writer
+	system failures.System
+
+	catIdx   map[failures.Category]int
+	causeIdx map[failures.SoftwareCause]int
+
+	// Per-block state: column arenas, the node dictionary, and stats.
+	cols     [8][]byte // id, tsec, tnsec, recovery, cat, node, gpus, cause
+	nodeIdx  map[string]int
+	nodes    []string
+	count    int
+	capacity int
+	stats    BlockStats
+	prevID   int64
+	prevSec  int64
+
+	// Order enforcement across blocks.
+	total    uint64
+	lastTime time.Time
+	lastID   int
+	closed   bool
+
+	frame []byte // frame assembly scratch
+}
+
+// Column indices into BlockWriter.cols.
+const (
+	colID = iota
+	colTimeSec
+	colTimeNsec
+	colRecovery
+	colCategory
+	colNode
+	colGPUs
+	colCause
+)
+
+// NewBlockWriter writes the .tsbc header for system to w and returns a
+// writer ready to Append records. The category and software-cause
+// dictionaries are the system's full taxonomy, so any valid record of
+// the system is encodable.
+func NewBlockWriter(w io.Writer, system failures.System) (*BlockWriter, error) {
+	return newBlockWriterSize(w, system, tsbcBlockRecords)
+}
+
+// newBlockWriterSize is NewBlockWriter with a custom block capacity —
+// tests use small blocks to exercise multi-block files cheaply.
+func newBlockWriterSize(w io.Writer, system failures.System, capacity int) (*BlockWriter, error) {
+	if !system.Valid() {
+		return nil, fmt.Errorf("trace: tsbc: invalid system %d", int(system))
+	}
+	if capacity < 1 || capacity > tsbcMaxBlockRecords {
+		return nil, fmt.Errorf("trace: tsbc: block capacity %d outside [1, %d]", capacity, tsbcMaxBlockRecords)
+	}
+	cats := failures.Categories(system)
+	if len(cats) > 64 {
+		return nil, fmt.Errorf("trace: tsbc: %v taxonomy has %d categories, format supports 64", system, len(cats))
+	}
+	causes := failures.SoftwareCauses()
+	bw := &BlockWriter{
+		w:        w,
+		system:   system,
+		catIdx:   make(map[failures.Category]int, len(cats)),
+		causeIdx: make(map[failures.SoftwareCause]int, len(causes)),
+		nodeIdx:  make(map[string]int),
+		capacity: capacity,
+	}
+	for i, c := range cats {
+		bw.catIdx[c] = i
+	}
+	for i, c := range causes {
+		bw.causeIdx[c] = i
+	}
+
+	hdr := make([]byte, 0, 512)
+	hdr = append(hdr, tsbcMagic...)
+	hdr = append(hdr, tsbcVersion, byte(system), 0, 0) // version, system, flags (reserved)
+	hdr = appendDict(hdr, len(cats), func(i int) string { return string(cats[i]) })
+	hdr = appendDict(hdr, len(causes), func(i int) string { return string(causes[i]) })
+	if _, err := w.Write(hdr); err != nil {
+		return nil, fmt.Errorf("trace: tsbc: writing header: %w", err)
+	}
+	return bw, nil
+}
+
+// appendDict encodes a string dictionary: entry count, then each entry
+// length-prefixed.
+func appendDict(b []byte, n int, at func(int) string) []byte {
+	b = binary.AppendUvarint(b, uint64(n))
+	for i := 0; i < n; i++ {
+		s := at(i)
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// Append encodes one record into the current block, flushing a full
+// block to the underlying writer first. Records must arrive in canonical
+// log order and belong to the writer's system with taxonomy-valid
+// category, software cause, and GPU slots (a validated failures.Log
+// satisfies all of this by construction).
+func (bw *BlockWriter) Append(f failures.Failure) error {
+	if bw.closed {
+		return fmt.Errorf("trace: tsbc: append after Close")
+	}
+	if f.System != bw.system {
+		return fmt.Errorf("trace: tsbc: record %d belongs to %v, trace is for %v", f.ID, f.System, bw.system)
+	}
+	catIdx, ok := bw.catIdx[f.Category]
+	if !ok {
+		return fmt.Errorf("trace: tsbc: record %d category %q is not in the %v taxonomy", f.ID, f.Category, bw.system)
+	}
+	causeIdx := 0
+	if f.SoftwareCause != "" {
+		i, ok := bw.causeIdx[f.SoftwareCause]
+		if !ok {
+			return fmt.Errorf("trace: tsbc: record %d has unknown software cause %q", f.ID, f.SoftwareCause)
+		}
+		causeIdx = i + 1
+	}
+	if len(f.GPUs) > tsbcMaxGPUs {
+		return fmt.Errorf("trace: tsbc: record %d lists %d GPU slots, format supports %d", f.ID, len(f.GPUs), tsbcMaxGPUs)
+	}
+	t := f.Time.UTC()
+	if bw.total > 0 || bw.count > 0 {
+		if t.Before(bw.lastTime) || (t.Equal(bw.lastTime) && f.ID < bw.lastID) {
+			return fmt.Errorf("trace: tsbc: record %d out of order (time %v after record %d at %v)", f.ID, t, bw.lastID, bw.lastTime)
+		}
+	}
+	bw.lastTime, bw.lastID = t, f.ID
+
+	sec, nsec := t.Unix(), int64(t.Nanosecond())
+	bw.cols[colID] = binary.AppendUvarint(bw.cols[colID], zigzag(int64(f.ID)-bw.prevID))
+	bw.cols[colTimeSec] = binary.AppendUvarint(bw.cols[colTimeSec], zigzag(sec-bw.prevSec))
+	bw.cols[colTimeNsec] = binary.AppendUvarint(bw.cols[colTimeNsec], uint64(nsec))
+	bw.cols[colRecovery] = binary.AppendUvarint(bw.cols[colRecovery], zigzag(int64(f.Recovery)))
+	bw.cols[colCategory] = binary.AppendUvarint(bw.cols[colCategory], uint64(catIdx))
+	nodeRef := 0
+	if f.Node != "" {
+		i, ok := bw.nodeIdx[f.Node]
+		if !ok {
+			i = len(bw.nodes)
+			bw.nodeIdx[f.Node] = i
+			bw.nodes = append(bw.nodes, f.Node)
+		}
+		nodeRef = i + 1
+	}
+	bw.cols[colNode] = binary.AppendUvarint(bw.cols[colNode], uint64(nodeRef))
+	bw.cols[colGPUs] = binary.AppendUvarint(bw.cols[colGPUs], uint64(len(f.GPUs)))
+	for _, g := range f.GPUs {
+		bw.cols[colGPUs] = binary.AppendUvarint(bw.cols[colGPUs], zigzag(int64(g)))
+	}
+	bw.cols[colCause] = binary.AppendUvarint(bw.cols[colCause], uint64(causeIdx))
+	bw.prevID, bw.prevSec = int64(f.ID), sec
+
+	if bw.count == 0 {
+		bw.stats = BlockStats{MinTime: t, MaxTime: t, MinRecovery: f.Recovery, MaxRecovery: f.Recovery}
+	} else {
+		// Appends are chronological, so MaxTime only moves forward.
+		bw.stats.MaxTime = t
+		if f.Recovery < bw.stats.MinRecovery {
+			bw.stats.MinRecovery = f.Recovery
+		}
+		if f.Recovery > bw.stats.MaxRecovery {
+			bw.stats.MaxRecovery = f.Recovery
+		}
+	}
+	bw.stats.Categories |= 1 << uint(catIdx)
+	bw.count++
+	bw.stats.Count = bw.count
+	bw.total++
+	if bw.count >= bw.capacity {
+		return bw.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock assembles the current block's frame (stats, node
+// dictionary, column arenas, CRC) and writes it length-prefixed.
+func (bw *BlockWriter) flushBlock() error {
+	if bw.count == 0 {
+		return nil
+	}
+	f := bw.frame[:0]
+	f = binary.AppendUvarint(f, uint64(bw.count))
+	f = binary.AppendUvarint(f, zigzag(bw.stats.MinTime.Unix()))
+	f = binary.AppendUvarint(f, uint64(bw.stats.MinTime.Nanosecond()))
+	f = binary.AppendUvarint(f, zigzag(bw.stats.MaxTime.Unix()))
+	f = binary.AppendUvarint(f, uint64(bw.stats.MaxTime.Nanosecond()))
+	f = binary.AppendUvarint(f, zigzag(int64(bw.stats.MinRecovery)))
+	f = binary.AppendUvarint(f, zigzag(int64(bw.stats.MaxRecovery)))
+	f = binary.AppendUvarint(f, bw.stats.Categories)
+	f = appendDict(f, len(bw.nodes), func(i int) string { return bw.nodes[i] })
+	for _, col := range bw.cols {
+		f = append(f, col...)
+	}
+	f = binary.LittleEndian.AppendUint32(f, crc32.Checksum(f, tsbcCRC))
+	bw.frame = f
+
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(f)))
+	if _, err := bw.w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("trace: tsbc: writing block frame: %w", err)
+	}
+	if _, err := bw.w.Write(f); err != nil {
+		return fmt.Errorf("trace: tsbc: writing block: %w", err)
+	}
+	obs.Add("trace/tsbc_blocks", 1)
+
+	for i := range bw.cols {
+		bw.cols[i] = bw.cols[i][:0]
+	}
+	bw.nodes = bw.nodes[:0]
+	clear(bw.nodeIdx)
+	bw.count = 0
+	bw.prevID, bw.prevSec = 0, 0
+	bw.stats = BlockStats{}
+	return nil
+}
+
+// Close flushes the final partial block and writes the end frame (a zero
+// frame length, the total record count, and the tail magic). The
+// underlying writer is not closed. Close is idempotent in effect but
+// must be called exactly once before the file is complete.
+func (bw *BlockWriter) Close() error {
+	if bw.closed {
+		return nil
+	}
+	if err := bw.flushBlock(); err != nil {
+		return err
+	}
+	bw.closed = true
+	end := make([]byte, 0, 2*binary.MaxVarintLen64+4)
+	end = binary.AppendUvarint(end, 0)
+	end = binary.AppendUvarint(end, bw.total)
+	end = append(end, tsbcTail...)
+	if _, err := bw.w.Write(end); err != nil {
+		return fmt.Errorf("trace: tsbc: writing end frame: %w", err)
+	}
+	return nil
+}
+
+// WriteTSBC writes the log to w in the .tsbc columnar format. The log's
+// canonical ordering and validation invariants make every record
+// encodable, so the only errors are I/O.
+func WriteTSBC(w io.Writer, log *failures.Log) error {
+	defer obs.StartSpan("trace/write-tsbc").End()
+	bw := getWriter(w)
+	defer putWriter(bw)
+	tw, err := NewBlockWriter(bw, log.System())
+	if err != nil {
+		return err
+	}
+	for i, n := 0, log.Len(); i < n; i++ {
+		if err := tw.Append(log.At(i)); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: tsbc: flushing: %w", err)
+	}
+	return nil
+}
+
+// Block is one decoded .tsbc block. The arenas backing its records are
+// owned by the BlockReader and reused on the next Next call: a record's
+// GPUs slice (and the Block itself) must not be retained across Next —
+// copy what outlives the block. Node and category strings are safe to
+// retain (strings are immutable and allocated per block / per file).
+type Block struct {
+	stats BlockStats
+
+	ids      []int
+	timeSec  []int64
+	timeNsec []int32
+	recovery []time.Duration
+	catIdx   []int32
+	nodeIdx  []int32
+	causeIdx []int32
+	gpuOff   []int32 // len count+1: record i's slots are gpuArena[gpuOff[i]:gpuOff[i+1]]
+	gpuArena []int
+	nodes    []string // per-block node dictionary (index 0 = empty)
+
+	catDict   []failures.Category
+	causeDict []failures.SoftwareCause
+	system    failures.System
+}
+
+// Stats returns the block's summary statistics.
+func (b *Block) Stats() BlockStats { return b.stats }
+
+// Len returns the number of records in the block.
+func (b *Block) Len() int { return b.stats.Count }
+
+// Record materializes record i of the block. The returned Failure's
+// GPUs slice aliases the block arena — valid until the reader's next
+// Next call; copy it to retain.
+func (b *Block) Record(i int) failures.Failure {
+	var gpus []int
+	if lo, hi := b.gpuOff[i], b.gpuOff[i+1]; hi > lo {
+		gpus = b.gpuArena[lo:hi:hi]
+	}
+	var node string
+	if n := b.nodeIdx[i]; n > 0 {
+		node = b.nodes[n-1]
+	}
+	var cause failures.SoftwareCause
+	if c := b.causeIdx[i]; c > 0 {
+		cause = b.causeDict[c-1]
+	}
+	return failures.Failure{
+		ID:            b.ids[i],
+		System:        b.system,
+		Time:          time.Unix(b.timeSec[i], int64(b.timeNsec[i])).UTC(),
+		Recovery:      b.recovery[i],
+		Category:      b.catDict[b.catIdx[i]],
+		Node:          node,
+		GPUs:          gpus,
+		SoftwareCause: cause,
+	}
+}
+
+// appendRecords appends copies of every record in the block to dst. The
+// GPU arena is copied once for the whole block, so the appended records
+// stay valid after the reader moves on.
+func (b *Block) appendRecords(dst []failures.Failure) []failures.Failure {
+	arena := append([]int(nil), b.gpuArena...)
+	for i := 0; i < b.Len(); i++ {
+		f := b.Record(i)
+		if lo, hi := b.gpuOff[i], b.gpuOff[i+1]; hi > lo {
+			f.GPUs = arena[lo:hi:hi]
+		}
+		dst = append(dst, f)
+	}
+	return dst
+}
+
+// BlockReader streams a .tsbc file one block at a time in constant
+// memory: block arenas are reused across Next calls, so peak memory is
+// bounded by the largest block, not the file. Construct with
+// NewBlockReader (which parses and validates the header), then call Next
+// until io.EOF.
+type BlockReader struct {
+	r      io.Reader
+	system failures.System
+
+	catDict   []failures.Category
+	causeDict []failures.SoftwareCause
+
+	block     Block
+	frame     []byte
+	total     uint64
+	filter    *BlockFilter
+	statsOnly bool
+	done      bool
+}
+
+// NewBlockReader parses the .tsbc header from r: magic, version, system,
+// and the category/cause dictionaries, each entry validated against the
+// system's taxonomy so a corrupt or forged dictionary fails here rather
+// than materializing invalid records later.
+func NewBlockReader(r io.Reader) (*BlockReader, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: tsbc: reading header: %w", err)
+	}
+	if string(hdr[:4]) != tsbcMagic {
+		return nil, fmt.Errorf("trace: tsbc: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != tsbcVersion {
+		return nil, fmt.Errorf("trace: tsbc: unsupported version %d (want %d)", hdr[4], tsbcVersion)
+	}
+	system := failures.System(hdr[5])
+	if !system.Valid() {
+		return nil, fmt.Errorf("trace: tsbc: invalid system %d", hdr[5])
+	}
+	br := &BlockReader{r: r, system: system}
+	catNames, err := readDict(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: tsbc: category dictionary: %w", err)
+	}
+	if len(catNames) == 0 || len(catNames) > 64 {
+		return nil, fmt.Errorf("trace: tsbc: category dictionary has %d entries (want 1..64)", len(catNames))
+	}
+	br.catDict = make([]failures.Category, len(catNames))
+	for i, name := range catNames {
+		cat, err := failures.ParseCategory(system, name)
+		if err != nil {
+			return nil, fmt.Errorf("trace: tsbc: category dictionary: %w", err)
+		}
+		br.catDict[i] = cat
+	}
+	causeNames, err := readDict(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: tsbc: cause dictionary: %w", err)
+	}
+	br.causeDict = make([]failures.SoftwareCause, len(causeNames))
+	for i, name := range causeNames {
+		cause := failures.SoftwareCause(name)
+		if !cause.Valid() {
+			return nil, fmt.Errorf("trace: tsbc: cause dictionary: unknown software cause %q", name)
+		}
+		br.causeDict[i] = cause
+	}
+	br.block.catDict = br.catDict
+	br.block.causeDict = br.causeDict
+	br.block.system = system
+	return br, nil
+}
+
+// readDict decodes a header dictionary from a stream, clamping entry
+// counts and string lengths before allocating.
+func readDict(r io.Reader) ([]string, error) {
+	rb := byteReaderFor(r)
+	n, err := binary.ReadUvarint(rb)
+	if err != nil {
+		return nil, fmt.Errorf("reading entry count: %w", err)
+	}
+	if n > tsbcMaxDictEntries {
+		return nil, fmt.Errorf("%d entries exceeds limit %d", n, tsbcMaxDictEntries)
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, err := binary.ReadUvarint(rb)
+		if err != nil {
+			return nil, fmt.Errorf("reading entry %d length: %w", i, err)
+		}
+		if l > tsbcMaxDictString {
+			return nil, fmt.Errorf("entry %d length %d exceeds limit %d", i, l, tsbcMaxDictString)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("reading entry %d: %w", i, err)
+		}
+		out = append(out, string(buf))
+	}
+	return out, nil
+}
+
+// byteReaderFor adapts r for binary.ReadUvarint without buffering ahead
+// (the varints in the header are read byte by byte, so the stream
+// position stays exact for the fixed-width reads between them).
+func byteReaderFor(r io.Reader) io.ByteReader {
+	if rb, ok := r.(io.ByteReader); ok {
+		return rb
+	}
+	return singleByteReader{r}
+}
+
+type singleByteReader struct{ r io.Reader }
+
+func (s singleByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	_, err := io.ReadFull(s.r, b[:])
+	return b[0], err
+}
+
+// System returns the system the trace belongs to.
+func (br *BlockReader) System() failures.System { return br.system }
+
+// Total returns the record count declared by the end frame; valid only
+// after Next has returned io.EOF.
+func (br *BlockReader) Total() int { return int(br.total) }
+
+// SetFilter installs a predicate-pushdown filter: Next skips (reads but
+// does not decode) every block whose statistics cannot match. A nil
+// filter restores full reads. Unknown categories for the trace's system
+// are an error.
+func (br *BlockReader) SetFilter(f *BlockFilter) error {
+	if f == nil {
+		br.filter = nil
+		return nil
+	}
+	f.mask = 0
+	for _, want := range f.Categories {
+		found := false
+		for i, cat := range br.catDict {
+			if cat == want {
+				f.mask |= 1 << uint(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("trace: tsbc: filter category %q is not in the trace dictionary", want)
+		}
+	}
+	br.filter = f
+	return nil
+}
+
+// Next decodes and returns the next block matching the filter (all
+// blocks when no filter is set). The returned *Block and its arenas are
+// reused by the following Next call. At end of file Next verifies the
+// end frame (record total, tail magic) and returns io.EOF.
+func (br *BlockReader) Next() (*Block, error) {
+	for {
+		blk, skipped, err := br.next()
+		if err != nil {
+			return nil, err
+		}
+		if skipped {
+			continue
+		}
+		return blk, nil
+	}
+}
+
+// next reads one frame: the end frame (io.EOF), a filtered-out block
+// (skipped=true), or a decoded block.
+func (br *BlockReader) next() (blk *Block, skipped bool, err error) {
+	if br.done {
+		return nil, false, io.EOF
+	}
+	rb := byteReaderFor(br.r)
+	frameLen, err := binary.ReadUvarint(rb)
+	if err != nil {
+		if err == io.EOF {
+			return nil, false, fmt.Errorf("trace: tsbc: truncated before end frame")
+		}
+		return nil, false, fmt.Errorf("trace: tsbc: reading frame length: %w", err)
+	}
+	if frameLen == 0 {
+		total, err := binary.ReadUvarint(rb)
+		if err != nil {
+			return nil, false, fmt.Errorf("trace: tsbc: reading end frame: %w", err)
+		}
+		var tail [4]byte
+		if _, err := io.ReadFull(br.r, tail[:]); err != nil {
+			return nil, false, fmt.Errorf("trace: tsbc: reading tail magic: %w", err)
+		}
+		if string(tail[:]) != tsbcTail {
+			return nil, false, fmt.Errorf("trace: tsbc: bad tail magic %q", tail[:])
+		}
+		if total != br.total {
+			return nil, false, fmt.Errorf("trace: tsbc: end frame declares %d records, read %d", total, br.total)
+		}
+		br.done = true
+		return nil, false, io.EOF
+	}
+	if frameLen > tsbcMaxFrameBytes {
+		return nil, false, fmt.Errorf("trace: tsbc: block frame of %d bytes exceeds limit %d", frameLen, tsbcMaxFrameBytes)
+	}
+	// Grow the frame buffer only as bytes actually arrive: a corrupt
+	// length cannot allocate more than the input backs.
+	br.frame, err = readFrame(br.r, br.frame, int(frameLen))
+	if err != nil {
+		return nil, false, err
+	}
+	frame := br.frame
+	if len(frame) < 4 {
+		return nil, false, fmt.Errorf("trace: tsbc: block frame of %d bytes has no checksum", len(frame))
+	}
+	payload, sum := frame[:len(frame)-4], binary.LittleEndian.Uint32(frame[len(frame)-4:])
+	if got := crc32.Checksum(payload, tsbcCRC); got != sum {
+		return nil, false, fmt.Errorf("trace: tsbc: block checksum mismatch (got %08x, want %08x)", got, sum)
+	}
+
+	d := frameDecoder{buf: payload}
+	stats, err := d.stats()
+	if err != nil {
+		return nil, false, err
+	}
+	br.total += uint64(stats.Count)
+	br.block.stats = stats
+	if br.statsOnly || !stats.overlaps(br.filter) {
+		return nil, true, nil
+	}
+	if err := d.columns(&br.block); err != nil {
+		return nil, false, err
+	}
+	obs.Add("trace/tsbc_rows", int64(stats.Count))
+	return &br.block, false, nil
+}
+
+// readFrame fills a reused buffer with exactly n bytes from r, growing
+// it in bounded steps so a lying length prefix cannot over-allocate.
+func readFrame(r io.Reader, buf []byte, n int) ([]byte, error) {
+	const step = 1 << 20
+	buf = buf[:0]
+	for len(buf) < n {
+		chunk := n - len(buf)
+		if chunk > step {
+			chunk = step
+		}
+		at := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, buf[at:]); err != nil {
+			return buf, fmt.Errorf("trace: tsbc: truncated block (want %d bytes): %w", n, err)
+		}
+	}
+	return buf, nil
+}
+
+// frameDecoder decodes a block frame from its in-memory payload.
+type frameDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *frameDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: tsbc: malformed varint at frame offset %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *frameDecoder) varint() (int64, error) {
+	u, err := d.uvarint()
+	return unzigzag(u), err
+}
+
+// stats decodes the block statistics at the head of the frame.
+func (d *frameDecoder) stats() (BlockStats, error) {
+	var s BlockStats
+	count, err := d.uvarint()
+	if err != nil {
+		return s, err
+	}
+	if count == 0 || count > tsbcMaxBlockRecords {
+		return s, fmt.Errorf("trace: tsbc: block record count %d outside [1, %d]", count, tsbcMaxBlockRecords)
+	}
+	s.Count = int(count)
+	read := func(dst *time.Time) error {
+		sec, err := d.varint()
+		if err != nil {
+			return err
+		}
+		nsec, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if nsec >= 1e9 {
+			return fmt.Errorf("trace: tsbc: block stat nanoseconds %d out of range", nsec)
+		}
+		*dst = time.Unix(sec, int64(nsec)).UTC()
+		return nil
+	}
+	if err := read(&s.MinTime); err != nil {
+		return s, err
+	}
+	if err := read(&s.MaxTime); err != nil {
+		return s, err
+	}
+	minRec, err := d.varint()
+	if err != nil {
+		return s, err
+	}
+	maxRec, err := d.varint()
+	if err != nil {
+		return s, err
+	}
+	s.MinRecovery, s.MaxRecovery = time.Duration(minRec), time.Duration(maxRec)
+	s.Categories, err = d.uvarint()
+	return s, err
+}
+
+// columns decodes the node dictionary and every column arena into the
+// reused block.
+func (d *frameDecoder) columns(b *Block) error {
+	count := b.stats.Count
+	nodes, err := d.dict(count)
+	if err != nil {
+		return fmt.Errorf("trace: tsbc: node dictionary: %w", err)
+	}
+	b.nodes = nodes
+
+	b.ids = grow(b.ids, count)
+	var prevID int64
+	for i := range b.ids {
+		delta, err := d.varint()
+		if err != nil {
+			return err
+		}
+		prevID += delta
+		id := int(prevID)
+		if int64(id) != prevID {
+			return fmt.Errorf("trace: tsbc: record ID %d does not fit in int", prevID)
+		}
+		b.ids[i] = id
+	}
+	b.timeSec = grow(b.timeSec, count)
+	var prevSec int64
+	for i := range b.timeSec {
+		delta, err := d.varint()
+		if err != nil {
+			return err
+		}
+		prevSec += delta
+		b.timeSec[i] = prevSec
+	}
+	b.timeNsec = grow(b.timeNsec, count)
+	for i := range b.timeNsec {
+		v, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v >= 1e9 {
+			return fmt.Errorf("trace: tsbc: record nanoseconds %d out of range", v)
+		}
+		b.timeNsec[i] = int32(v)
+	}
+	b.recovery = grow(b.recovery, count)
+	for i := range b.recovery {
+		v, err := d.varint()
+		if err != nil {
+			return err
+		}
+		b.recovery[i] = time.Duration(v)
+	}
+	b.catIdx = grow(b.catIdx, count)
+	for i := range b.catIdx {
+		v, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v >= uint64(len(b.catDict)) {
+			return fmt.Errorf("trace: tsbc: category index %d outside dictionary of %d", v, len(b.catDict))
+		}
+		b.catIdx[i] = int32(v)
+	}
+	b.nodeIdx = grow(b.nodeIdx, count)
+	for i := range b.nodeIdx {
+		v, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v > uint64(len(b.nodes)) {
+			return fmt.Errorf("trace: tsbc: node index %d outside dictionary of %d", v, len(b.nodes))
+		}
+		b.nodeIdx[i] = int32(v)
+	}
+	b.gpuOff = grow(b.gpuOff, count+1)
+	b.gpuArena = b.gpuArena[:0]
+	b.gpuOff[0] = 0
+	for i := 0; i < count; i++ {
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > tsbcMaxGPUs {
+			return fmt.Errorf("trace: tsbc: record lists %d GPU slots, limit %d", n, tsbcMaxGPUs)
+		}
+		for j := uint64(0); j < n; j++ {
+			slot, err := d.varint()
+			if err != nil {
+				return err
+			}
+			b.gpuArena = append(b.gpuArena, int(slot))
+		}
+		b.gpuOff[i+1] = int32(len(b.gpuArena))
+	}
+	b.causeIdx = grow(b.causeIdx, count)
+	for i := range b.causeIdx {
+		v, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v > uint64(len(b.causeDict)) {
+			return fmt.Errorf("trace: tsbc: cause index %d outside dictionary of %d", v, len(b.causeDict))
+		}
+		b.causeIdx[i] = int32(v)
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("trace: tsbc: %d trailing bytes after block columns", len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+// dict decodes a per-block dictionary with at most maxEntries entries.
+func (d *frameDecoder) dict(maxEntries int) ([]string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxEntries) {
+		return nil, fmt.Errorf("%d entries exceeds block record count %d", n, maxEntries)
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > uint64(len(d.buf)-d.pos) {
+			return nil, fmt.Errorf("entry %d length %d exceeds remaining frame", i, l)
+		}
+		out = append(out, string(d.buf[d.pos:d.pos+int(l)]))
+		d.pos += int(l)
+	}
+	return out, nil
+}
+
+// grow returns s resized to n, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// ReadTSBC fully decodes a .tsbc trace into a validated, time-sorted
+// log — the batch entry point the analyze pipeline uses; streaming
+// consumers should drive a BlockReader instead. Matches the other
+// readers' contract: empty traces are an error.
+func ReadTSBC(r io.Reader) (*failures.Log, error) {
+	defer obs.StartSpan("trace/read-tsbc").End()
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var records []failures.Failure
+	for {
+		blk, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Grow by doubling rather than through append's ~1.25x policy:
+		// a 100k-record decode otherwise allocates ~5x the final slice
+		// in dead intermediate copies, and GC churn dominates the read.
+		if need := len(records) + blk.Len(); need > cap(records) {
+			newCap := 2 * cap(records)
+			if newCap < need {
+				newCap = need
+			}
+			grown := make([]failures.Failure, len(records), newCap)
+			copy(grown, records)
+			records = grown
+		}
+		records = blk.appendRecords(records)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: tsbc contains no records")
+	}
+	// The writer enforces (time, ID) order and the decoder emits UTC
+	// instants, so the sorted constructor applies: one validation pass,
+	// no copy, no re-sort.
+	log, err := failures.NewLogSorted(br.System(), records)
+	if err != nil {
+		return nil, fmt.Errorf("trace: validating tsbc log: %w", err)
+	}
+	return log, nil
+}
+
+// TSBCStats summarizes a .tsbc trace from its header and block
+// statistics alone: no column is decoded, so skimming a file costs
+// O(blocks) decode work regardless of record count. This is how the
+// streaming digest finds the log's time window (for the default period)
+// before its single full pass.
+type TSBCStats struct {
+	System     failures.System
+	Records    int
+	Blocks     int
+	Start, End time.Time
+}
+
+// ReadTSBCStats skims r (a complete .tsbc stream), verifying block
+// checksums and the end frame, and returns the trace summary.
+func ReadTSBCStats(r io.Reader) (TSBCStats, error) {
+	defer obs.StartSpan("trace/scan-tsbc").End()
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return TSBCStats{}, err
+	}
+	br.statsOnly = true
+	out := TSBCStats{System: br.System()}
+	for {
+		// statsOnly makes next skip column decode for every block, so
+		// the loop costs O(blocks) regardless of record count.
+		if _, _, err := br.next(); err == io.EOF {
+			break
+		} else if err != nil {
+			return TSBCStats{}, err
+		}
+		stats := br.block.stats
+		if out.Blocks == 0 {
+			out.Start = stats.MinTime
+		}
+		out.End = stats.MaxTime
+		out.Blocks++
+		out.Records += stats.Count
+	}
+	return out, nil
+}
