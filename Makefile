@@ -22,7 +22,7 @@ BENCH_PKGS ?= ./...
 BENCH_OUT ?= BENCH_ci.json
 BENCH_TAGS ?=
 
-.PHONY: build test race bench bench-baseline bench-check bench-smoke bench-smoke-selftest sweep-smoke serve-smoke convert-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
+.PHONY: build test race bench bench-baseline bench-check bench-smoke bench-smoke-selftest sweep-smoke serve-smoke convert-smoke remediate-smoke profile-gen fuzz-smoke conform cover vet lint ci clean
 
 ## build: compile every package and command
 build:
@@ -110,6 +110,13 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzParseNDJSONRecord$$' -fuzztime=15s -run='^$$' ./internal/trace/
 	$(GO) test -fuzz='^FuzzReadTSBC$$' -fuzztime=15s -run='^$$' ./internal/trace/
 
+## remediate-smoke: CLI contracts of the closed-loop policy comparison —
+## the canonical tsubame-remediate report must match the committed e2e
+## golden, reproduce byte-identically across runs and worker counts, and
+## reject bad flags with exit 2 (docs/REMEDIATION.md).
+remediate-smoke:
+	./scripts/remediate_smoke.sh
+
 ## convert-smoke: lossless-conversion gate for the columnar data plane —
 ## generate a 100k-record trace, convert NDJSON -> .tsbc -> NDJSON, and
 ## require byte identity, plus a streaming .tsbc digest byte-identical
@@ -137,8 +144,8 @@ lint:
 		|| echo "golangci-lint not installed; skipping (CI runs it as a blocking job)"
 
 ## ci: every blocking CI step, in CI's order
-ci: build vet test race conform bench-smoke bench-smoke-selftest sweep-smoke serve-smoke convert-smoke fuzz-smoke
+ci: build vet test race conform bench-smoke bench-smoke-selftest sweep-smoke serve-smoke convert-smoke remediate-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_ci.json BENCH_perf.txt PROFILE_gen_cpu.out PROFILE_gen_mem.out CONFORM_report.json COVER_profile.out repro.test
-	rm -rf SWEEP_smoke.d
+	rm -rf SWEEP_smoke.d REMEDIATE_smoke.d

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/failures"
 	"repro/internal/index"
+	"repro/internal/remediate"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -493,6 +494,42 @@ func BenchmarkPerfFleetSim100k(b *testing.B) {
 		}
 		if res.Failures == 0 {
 			b.Fatal("fleet trial saw no failures")
+		}
+	}
+}
+
+// BenchmarkPerfRemediate100k is the closed-loop twin of the fleet
+// benchmark: the same 100k-node decade-horizon fleet, but every failure
+// is answered by the remediation engine — cordon, crew-bounded drain,
+// reset-with-retries, escalation to replacement against a finite spare
+// pool, and verification — with a 0.5-accuracy oracle layering predicted
+// failures and false alarms on top. This is the per-node state-machine
+// and cordon-queue hot path under real event pressure.
+func BenchmarkPerfRemediate100k(b *testing.B) {
+	procs := fleetProcesses(b)
+	cfg := remediate.Config{
+		Nodes:        100_000,
+		NodesPerRack: 36,
+		HorizonHours: 87_600,
+		Processes:    procs,
+		Crews:        1024,
+		Policy:       remediate.PredictionInitiated{},
+		Steps:        remediate.DefaultSteps(),
+		Predictor: remediate.Predictor{
+			Accuracy:           0.5,
+			LeadTimeHours:      24,
+			FalseAlarmsPerYear: 12,
+		},
+		Seed: benchSeed,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := remediate.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Remediations == 0 {
+			b.Fatal("closed-loop trial completed no remediations")
 		}
 	}
 }

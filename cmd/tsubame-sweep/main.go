@@ -39,6 +39,8 @@ func main() {
 		intervals  = flag.String("ckpt-intervals", "0", "comma-separated checkpoint intervals in hours (0 = Young/Daly optimum)")
 		sparesList = flag.String("spares", "-1", "comma-separated per-category spare stocks (-1 = unlimited)")
 		accuracy   = flag.String("accuracy", "0", "comma-separated prediction accuracies in [0,1) (0 = no proactive recovery)")
+		policies   = flag.String("policies", "none", "comma-separated remediation policies: none, reactive, predictive, batch")
+		batchWin   = flag.Float64("batch-window", 168, "maintenance-window cadence of batch policy cells in hours")
 		seeds      = flag.Int("seeds", 4, "seeds per scenario (consecutive from -seed)")
 		seed       = flag.Int64("seed", 42, "first simulation seed")
 		logSeed    = flag.Int64("log-seed", 42, "seed of the synthetic log the processes are fitted from")
@@ -61,6 +63,7 @@ func main() {
 	grid.CkptIntervals, errIntervals = parseFloats("ckpt-intervals", *intervals)
 	grid.Spares, errSpares = parseInts("spares", *sparesList)
 	grid.Accuracies, errAcc = parseFloats("accuracy", *accuracy)
+	grid.Policies = splitList(*policies)
 	for i := 0; i < *seeds; i++ {
 		grid.Seeds = append(grid.Seeds, *seed+int64(i))
 	}
@@ -75,6 +78,7 @@ func main() {
 		cli.PositiveFloat("alarm", *alarmHours),
 		cli.PositiveFloat("ckpt-cost", *ckptCost),
 		cli.NonNegativeFloat("restart-cost", *restart),
+		cli.PositiveFloat("batch-window", *batchWin),
 		grid.Validate(),
 	}
 	cli.CheckFlags(checks...)
@@ -102,6 +106,7 @@ func main() {
 			AlarmWindowHours:    *alarmHours,
 			CheckpointCostHours: *ckptCost,
 			RestartCostHours:    *restart,
+			BatchWindowHours:    *batchWin,
 			LogSeed:             *logSeed,
 			MinCount:            10,
 		},
@@ -116,9 +121,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("Swept %d cells (%d systems x %d intervals x %d spare levels x %d accuracies x %d seeds).\n",
+	fmt.Printf("Swept %d cells (%d systems x %d intervals x %d spare levels x %d accuracies x %d policies x %d seeds).\n",
 		grid.Size(), len(grid.Systems), len(grid.CkptIntervals), len(grid.Spares),
-		len(grid.Accuracies), len(grid.Seeds))
+		len(grid.Accuracies), len(grid.Policies), len(grid.Seeds))
 	fmt.Printf("Report: %s\n", report)
 	if err := obsRun.Finish(); err != nil {
 		log.Fatal(err)

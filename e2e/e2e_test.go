@@ -31,6 +31,7 @@ var tools = []string{
 	"tsubame-digest",
 	"tsubame-fit",
 	"tsubame-gen",
+	"tsubame-remediate",
 	"tsubame-report",
 	"tsubame-serve",
 	"tsubame-sim",
@@ -159,7 +160,8 @@ func TestBadFlagsExitTwo(t *testing.T) {
 		{"tsubame-digest", []string{"-days", "0"}},
 		{"tsubame-fit", []string{"-min", "0"}},
 		{"tsubame-gen", []string{"-runs", "0"}},
-		{"tsubame-report", []string{"-bogus"}}, // unknown flag
+		{"tsubame-remediate", []string{"-policies", "paint"}}, // unknown policy
+		{"tsubame-report", []string{"-bogus"}},                // unknown flag
 		{"tsubame-serve", []string{"-max-body", "0"}},
 		{"tsubame-sim", []string{"-trials", "0"}},
 		{"tsubame-sweep", []string{"-seeds", "0"}}, // also missing -out
@@ -258,6 +260,47 @@ func TestSweepCLI(t *testing.T) {
 	_, stderr, code = run(t, "tsubame-sweep", args...)
 	if code != 1 || !strings.Contains(stderr, "resume") {
 		t.Fatalf("dirty-directory re-run: exit %d, stderr %q; want exit 1 mentioning resume", code, stderr)
+	}
+}
+
+// TestRemediateCLI runs a small policy comparison through the binary and
+// pins the JSON report against a committed golden. The comparison is a
+// pure function of (flags, seed), so the bytes are stable across
+// machines; a second run at a different worker count must reproduce them
+// exactly (the determinism contract of the report).
+func TestRemediateCLI(t *testing.T) {
+	args := []string{
+		"-system", "t2", "-seeds", "2", "-horizon", "1000",
+		"-accuracy", "0.5", "-spares", "fixed", "-stock", "2",
+	}
+	stdout, stderr, code := run(t, "tsubame-remediate", args...)
+	if code != 0 {
+		t.Fatalf("remediate exited %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "winner") {
+		t.Fatalf("summary line does not name a winner:\n%s", stderr)
+	}
+	golden := filepath.Join("testdata", "remediate.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update): %v", err)
+		}
+		if stdout != string(want) {
+			t.Fatalf("remediate report diverged from %s (regenerate with -update if intended)\nfirst divergence: %s",
+				golden, firstDiff(string(want), stdout))
+		}
+	}
+	again, _, code := run(t, "tsubame-remediate", append(args, "-workers", "3")...)
+	if code != 0 {
+		t.Fatalf("second remediate run exited %d", code)
+	}
+	if again != stdout {
+		t.Fatal("report bytes differ across worker counts; the comparison is not deterministic")
 	}
 }
 

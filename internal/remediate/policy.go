@@ -1,0 +1,107 @@
+package remediate
+
+import "fmt"
+
+// Policy decides when a node enters remediation. Implementations must be
+// pure functions of their configuration and the passed time so runs stay
+// deterministic in (Config, Seed): the engine calls them from a single
+// event loop and never concurrently.
+type Policy interface {
+	// Name identifies the policy in reports and sweep cells.
+	Name() string
+	// DetectDelay returns how long after a detected failure at now the
+	// node's cordon should be issued. Negative means never (the node
+	// would stay down forever, so real policies return >= 0).
+	DetectDelay(now float64) float64
+	// PredictDelay returns how long after a prediction (or false alarm)
+	// at now the node's proactive cordon should be issued. Negative
+	// ignores the prediction.
+	PredictDelay(now float64) float64
+}
+
+// Reactive remediates on detection only, immediately — the baseline
+// control loop: a node condition turns unhealthy, the operator cordons
+// and remediates. Predictions are ignored.
+type Reactive struct{}
+
+// Name implements Policy.
+func (Reactive) Name() string { return "reactive" }
+
+// DetectDelay implements Policy: act immediately on detection.
+func (Reactive) DetectDelay(float64) float64 { return 0 }
+
+// PredictDelay implements Policy: reactive ignores predictions.
+func (Reactive) PredictDelay(float64) float64 { return -1 }
+
+// PredictionInitiated acts immediately on both detections and
+// predictions: a predicted failure cordons and drains the node before
+// the failure lands, converting a hard crash into a graceful drain when
+// the prediction arrives early enough (the paper's "leverage failure
+// prediction to initiate recovery proactively").
+type PredictionInitiated struct{}
+
+// Name implements Policy.
+func (PredictionInitiated) Name() string { return "predictive" }
+
+// DetectDelay implements Policy: unpredicted failures are still handled
+// reactively.
+func (PredictionInitiated) DetectDelay(float64) float64 { return 0 }
+
+// PredictDelay implements Policy: act immediately on predictions.
+func (PredictionInitiated) PredictDelay(float64) float64 { return 0 }
+
+// ScheduledBatch defers every remediation — detected or predicted — to
+// the next maintenance window, a multiple of WindowHours, so
+// interventions batch together. Failed nodes wait down until the window
+// opens, trading availability for batched crew activations.
+type ScheduledBatch struct {
+	// WindowHours is the maintenance-window cadence; must be positive.
+	WindowHours float64
+}
+
+// Name implements Policy.
+func (ScheduledBatch) Name() string { return "batch" }
+
+// DetectDelay implements Policy: wait for the next window boundary.
+func (p ScheduledBatch) DetectDelay(now float64) float64 { return p.untilWindow(now) }
+
+// PredictDelay implements Policy: predictions also wait for the window.
+func (p ScheduledBatch) PredictDelay(now float64) float64 { return p.untilWindow(now) }
+
+// untilWindow returns the delay from now to the next strictly-later
+// multiple of WindowHours, so a failure exactly on a boundary waits a
+// full window (the crew for this window has already been dispatched).
+func (p ScheduledBatch) untilWindow(now float64) float64 {
+	w := p.WindowHours
+	k := float64(int64(now/w)) * w
+	for k <= now {
+		k += w
+	}
+	return k - now
+}
+
+// validatePolicy checks the engine can run the policy.
+func validatePolicy(p Policy) error {
+	if p == nil {
+		return fmt.Errorf("remediate: config needs a policy")
+	}
+	if b, ok := p.(ScheduledBatch); ok && !(b.WindowHours > 0) {
+		return fmt.Errorf("remediate: batch window must be positive, got %v", b.WindowHours)
+	}
+	return nil
+}
+
+// PolicyByName builds one of the named comparison policies: "reactive",
+// "predictive", or "batch" (which uses batchWindowHours).
+func PolicyByName(name string, batchWindowHours float64) (Policy, error) {
+	switch name {
+	case "reactive":
+		return Reactive{}, nil
+	case "predictive":
+		return PredictionInitiated{}, nil
+	case "batch":
+		return ScheduledBatch{WindowHours: batchWindowHours}, nil
+	default:
+		return nil, fmt.Errorf("remediate: unknown policy %q (want reactive, predictive, or batch)", name)
+	}
+}

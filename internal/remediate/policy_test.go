@@ -1,0 +1,110 @@
+package remediate
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReactivePolicy checks the baseline acts immediately on detection
+// and never on prediction.
+func TestReactivePolicy(t *testing.T) {
+	p := Reactive{}
+	if p.Name() != "reactive" {
+		t.Errorf("name %q", p.Name())
+	}
+	if d := p.DetectDelay(100); d != 0 {
+		t.Errorf("DetectDelay = %v, want 0", d)
+	}
+	if d := p.PredictDelay(100); d >= 0 {
+		t.Errorf("PredictDelay = %v, want negative (ignore)", d)
+	}
+}
+
+// TestPredictionInitiatedPolicy checks the proactive policy acts
+// immediately on both channels.
+func TestPredictionInitiatedPolicy(t *testing.T) {
+	p := PredictionInitiated{}
+	if p.Name() != "predictive" {
+		t.Errorf("name %q", p.Name())
+	}
+	if d := p.DetectDelay(5); d != 0 {
+		t.Errorf("DetectDelay = %v, want 0", d)
+	}
+	if d := p.PredictDelay(5); d != 0 {
+		t.Errorf("PredictDelay = %v, want 0", d)
+	}
+}
+
+// TestScheduledBatchWindows checks the window arithmetic: delays always
+// land on the next strictly-later multiple of the window, so a failure
+// exactly on a boundary waits one full window.
+func TestScheduledBatchWindows(t *testing.T) {
+	p := ScheduledBatch{WindowHours: 24}
+	if p.Name() != "batch" {
+		t.Errorf("name %q", p.Name())
+	}
+	cases := []struct {
+		now, want float64
+	}{
+		{0, 24},    // boundary: wait a full window
+		{1, 23},    // mid-window
+		{23.5, .5}, // just before the boundary
+		{24, 24},   // boundary again
+		{100, 20},  // arbitrary
+	}
+	for _, c := range cases {
+		if got := p.DetectDelay(c.now); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("DetectDelay(%v) = %v, want %v", c.now, got, c.want)
+		}
+		if got := p.PredictDelay(c.now); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("PredictDelay(%v) = %v, want %v", c.now, got, c.want)
+		}
+	}
+	// The delay plus now must land exactly on a multiple of the window
+	// for a spread of awkward floats.
+	for _, now := range []float64{0.1, 7.77, 1e6 + 0.5, 23.999999} {
+		target := now + p.DetectDelay(now)
+		if rem := math.Mod(target, 24); math.Min(rem, 24-rem) > 1e-6 {
+			t.Errorf("window target %v (from %v) is off the 24h grid", target, now)
+		}
+		if target <= now {
+			t.Errorf("window target %v not strictly after %v", target, now)
+		}
+	}
+}
+
+// TestPolicyByName checks the registry and its error path.
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"reactive", "predictive", "batch"} {
+		p, err := PolicyByName(name, 12)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("PolicyByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if b, _ := PolicyByName("batch", 12); b.(ScheduledBatch).WindowHours != 12 {
+		t.Error("batch window not threaded through")
+	}
+	if _, err := PolicyByName("yolo", 12); err == nil {
+		t.Error("unknown policy name should error")
+	}
+}
+
+// TestValidatePolicy checks nil policies and non-positive batch windows
+// are rejected.
+func TestValidatePolicy(t *testing.T) {
+	if err := validatePolicy(nil); err == nil {
+		t.Error("nil policy should be rejected")
+	}
+	if err := validatePolicy(ScheduledBatch{}); err == nil {
+		t.Error("zero batch window should be rejected")
+	}
+	if err := validatePolicy(ScheduledBatch{WindowHours: -1}); err == nil {
+		t.Error("negative batch window should be rejected")
+	}
+	if err := validatePolicy(Reactive{}); err != nil {
+		t.Errorf("reactive should validate: %v", err)
+	}
+}

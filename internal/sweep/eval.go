@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/failures"
+	"repro/internal/remediate"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/spares"
@@ -29,6 +30,9 @@ type Params struct {
 	// Young/Daly checkpoint model.
 	CheckpointCostHours float64
 	RestartCostHours    float64
+	// BatchWindowHours is the maintenance-window cadence of "batch"
+	// policy cells; 0 selects the default weekly window.
+	BatchWindowHours float64
 	// LogSeed seeds the synthetic failure log each system's processes
 	// are fitted from.
 	LogSeed int64
@@ -56,7 +60,19 @@ func (p Params) Validate() error {
 	if p.RestartCostHours < 0 {
 		return fmt.Errorf("sweep: negative restart cost %v", p.RestartCostHours)
 	}
+	if p.BatchWindowHours < 0 {
+		return fmt.Errorf("sweep: negative batch window %v", p.BatchWindowHours)
+	}
 	return nil
+}
+
+// batchWindow is the effective "batch" policy cadence: the configured
+// window, defaulting to one week.
+func (p Params) batchWindow() float64 {
+	if p.BatchWindowHours > 0 {
+		return p.BatchWindowHours
+	}
+	return 168
 }
 
 // Result is one evaluated cell: the scenario identity plus the headline
@@ -73,6 +89,12 @@ type Result struct {
 	// GoodputFraction is availability times checkpoint efficiency: the
 	// fraction of the fleet-hour budget doing useful work.
 	GoodputFraction float64 `json:"goodput_fraction"`
+	// Remediations, Averted, and SparesConsumed are populated by policy
+	// cells (Policy != "none"): completed remediation cycles, predicted
+	// incidents absorbed by proactive drains, and parts consumed.
+	Remediations   int `json:"remediations"`
+	Averted        int `json:"averted"`
+	SparesConsumed int `json:"spares_consumed"`
 }
 
 type systemModel struct {
@@ -130,11 +152,16 @@ func profileFor(sys failures.System) *synth.Profile {
 
 // Run evaluates one cell. Results are deterministic in the cell alone:
 // the same cell produces the same Result bytes on every run, which is
-// what makes resumed sweeps merge byte-identically.
+// what makes resumed sweeps merge byte-identically. Cells with a
+// remediation policy run the closed-loop engine; "none" cells run the
+// plain repair simulator.
 func (e *Evaluator) Run(c Cell) (Result, error) {
 	m, ok := e.systems[c.System]
 	if !ok {
 		return Result{}, fmt.Errorf("sweep: cell %s references unfitted system %q", c.ID, c.System)
+	}
+	if c.Policy != "" && c.Policy != "none" {
+		return e.runPolicy(c, m)
 	}
 	cfg := sim.Config{
 		Nodes:        m.machine.Nodes,
@@ -189,5 +216,76 @@ func (e *Evaluator) Run(c Cell) (Result, error) {
 		EffectiveInterval: tau,
 		CkptEfficiency:    eff,
 		GoodputFraction:   res.Availability * eff,
+	}, nil
+}
+
+// runPolicy evaluates a remediation-policy cell with the closed-loop
+// engine on the same fitted processes, spares, and accuracy knobs as
+// the plain cells, so policy and no-policy rows are comparable within a
+// grid.
+func (e *Evaluator) runPolicy(c Cell, m systemModel) (Result, error) {
+	policy, err := remediate.PolicyByName(c.Policy, e.params.batchWindow())
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: cell %s: %w", c.ID, err)
+	}
+	cfg := remediate.Config{
+		Nodes:        m.machine.Nodes,
+		NodesPerRack: m.machine.NodesPerRack,
+		HorizonHours: e.params.HorizonHours,
+		Processes:    m.procs,
+		Crews:        e.params.Crews,
+		Policy:       policy,
+		Steps:        remediate.DefaultSteps(),
+		Seed:         c.Seed,
+	}
+	if c.Accuracy > 0 {
+		// The alarm window doubles as the prediction lead: how far ahead
+		// of a failure the oracle raises its alarm.
+		cfg.Predictor = remediate.Predictor{
+			Accuracy:      c.Accuracy,
+			LeadTimeHours: e.params.AlarmWindowHours,
+		}
+	}
+	if c.Spares >= 0 {
+		parts, err := spares.NewFixedStock(c.Spares, e.params.LeadTimeHours)
+		if err != nil {
+			return Result{}, fmt.Errorf("sweep: cell %s: %w", c.ID, err)
+		}
+		cfg.Parts = parts
+	}
+	res, err := remediate.Run(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: cell %s: %w", c.ID, err)
+	}
+	mtbf := e.params.HorizonHours
+	if res.Failures > 0 {
+		mtbf = e.params.HorizonHours / float64(res.Failures)
+	}
+	model := sched.CheckpointModel{
+		CheckpointCostHours: e.params.CheckpointCostHours,
+		RestartCostHours:    e.params.RestartCostHours,
+		MTBFHours:           mtbf,
+	}
+	tau := c.CkptInterval
+	if tau == 0 {
+		tau = model.OptimalInterval()
+	}
+	eff, err := model.Efficiency(tau)
+	if err != nil {
+		return Result{}, fmt.Errorf("sweep: cell %s: %w", c.ID, err)
+	}
+	return Result{
+		Cell:              c,
+		Availability:      res.Availability,
+		NodeHoursLost:     res.NodeHoursLost,
+		Failures:          res.Failures,
+		MeanRepairWait:    res.MeanRemediationHours,
+		MTBFHours:         mtbf,
+		EffectiveInterval: tau,
+		CkptEfficiency:    eff,
+		GoodputFraction:   res.Availability * eff,
+		Remediations:      res.Remediations,
+		Averted:           res.Averted,
+		SparesConsumed:    res.SparesConsumed,
 	}, nil
 }

@@ -30,8 +30,25 @@ type Grid struct {
 	// proactive recovery, a in (0, 1) discounts alarmed repairs to
 	// (1 - a) of their sampled duration.
 	Accuracies []float64
+	// Policies are remediation policies: "none" evaluates the plain
+	// repair simulator (the historical sweep), and "reactive",
+	// "predictive", or "batch" evaluate the closed-loop remediation
+	// engine under that policy. Empty means just "none".
+	Policies []string
 	// Seeds are the per-cell simulation seeds.
 	Seeds []int64
+}
+
+// PolicyNames are the accepted values of the Policies axis.
+var PolicyNames = []string{"none", "reactive", "predictive", "batch"}
+
+// policies returns the normalized policy axis: the configured list, or
+// the implicit single "none".
+func (g Grid) policies() []string {
+	if len(g.Policies) == 0 {
+		return []string{"none"}
+	}
+	return g.Policies
 }
 
 // Validate checks every grid axis.
@@ -55,13 +72,25 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: prediction accuracy %v outside [0, 1)", a)
 		}
 	}
+	for _, p := range g.Policies {
+		ok := false
+		for _, name := range PolicyNames {
+			if p == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("sweep: unknown policy %q (want one of %v)", p, PolicyNames)
+		}
+	}
 	return nil
 }
 
 // Size is the number of cells the grid enumerates.
 func (g Grid) Size() int {
 	return len(g.Systems) * len(g.CkptIntervals) * len(g.Spares) *
-		len(g.Accuracies) * len(g.Seeds)
+		len(g.Accuracies) * len(g.policies()) * len(g.Seeds)
 }
 
 // Cell is one (scenario, seed) point of the grid.
@@ -76,7 +105,10 @@ type Cell struct {
 	CkptInterval float64 `json:"ckpt_interval_hours"`
 	Spares       int     `json:"spares"`
 	Accuracy     float64 `json:"accuracy"`
-	Seed         int64   `json:"seed"`
+	// Policy is the remediation policy of the cell: "none" for the plain
+	// repair simulator, or a remediate policy name.
+	Policy string `json:"policy"`
+	Seed   int64  `json:"seed"`
 }
 
 // Cells enumerates the grid in its fixed order.
@@ -86,17 +118,20 @@ func (g Grid) Cells() []Cell {
 		for _, ck := range g.CkptIntervals {
 			for _, sp := range g.Spares {
 				for _, acc := range g.Accuracies {
-					for _, seed := range g.Seeds {
-						c := Cell{
-							Index:        len(cells),
-							System:       sys,
-							CkptInterval: ck,
-							Spares:       sp,
-							Accuracy:     acc,
-							Seed:         seed,
+					for _, pol := range g.policies() {
+						for _, seed := range g.Seeds {
+							c := Cell{
+								Index:        len(cells),
+								System:       sys,
+								CkptInterval: ck,
+								Spares:       sp,
+								Accuracy:     acc,
+								Policy:       pol,
+								Seed:         seed,
+							}
+							c.ID = cellID(c)
+							cells = append(cells, c)
 						}
-						c.ID = cellID(c)
-						cells = append(cells, c)
 					}
 				}
 			}
@@ -106,9 +141,14 @@ func (g Grid) Cells() []Cell {
 }
 
 func cellID(c Cell) string {
-	return c.System +
+	id := c.System +
 		"/ck" + strconv.FormatFloat(c.CkptInterval, 'g', -1, 64) +
 		"/sp" + strconv.Itoa(c.Spares) +
-		"/acc" + strconv.FormatFloat(c.Accuracy, 'g', -1, 64) +
-		"/seed" + strconv.FormatInt(c.Seed, 10)
+		"/acc" + strconv.FormatFloat(c.Accuracy, 'g', -1, 64)
+	// "none" cells keep their historical IDs so pre-policy manifests
+	// stay resumable.
+	if c.Policy != "" && c.Policy != "none" {
+		id += "/pol" + c.Policy
+	}
+	return id + "/seed" + strconv.FormatInt(c.Seed, 10)
 }

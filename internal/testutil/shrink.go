@@ -1,0 +1,200 @@
+package testutil
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// This file is a suss-style shrinking harness (after Hypothesis and
+// DanielMorsing/suss): properties draw every random decision through a
+// *Gen, which records the raw choice sequence. When a property fails,
+// the harness shrinks the recorded sequence — deleting chunks and
+// minimizing values — and replays the property until no smaller
+// sequence still fails, so the reported counterexample is minimal.
+// Because generators derive structure from choices monotonically
+// (smaller choices -> fewer records, smaller fields), sequence
+// minimality translates to input minimality.
+
+// Skip marks a generated input as outside the property's precondition:
+// return it (or wrap it) from a property to discard the case without
+// failing. Shrinking treats skipped candidates as passing.
+var Skip = errors.New("testutil: skip")
+
+// Property is a predicate over inputs drawn from g. Returning nil
+// passes; returning Skip discards the case; any other error (or a
+// panic) is a failure the harness will shrink.
+type Property func(g *Gen) error
+
+// Gen supplies the property's random choices. In generation mode draws
+// come from a deterministic RNG and are recorded; in replay mode draws
+// come from a (possibly shrunk) recorded tape, with reads past the end
+// returning zero — the minimal choice.
+type Gen struct {
+	tape []uint64
+	pos  int
+	rng  *rand.Rand
+}
+
+// draw returns the next raw choice.
+func (g *Gen) draw() uint64 {
+	var v uint64
+	if g.pos < len(g.tape) {
+		v = g.tape[g.pos]
+	} else if g.rng != nil {
+		v = g.rng.Uint64()
+		g.tape = append(g.tape, v)
+	}
+	g.pos++
+	return v
+}
+
+// Uint64 draws a choice in [0, bound); bound 0 means the full uint64
+// range. The raw choice is recorded pre-modulo so shrinking a choice
+// toward zero shrinks the drawn value for any bound.
+func (g *Gen) Uint64(bound uint64) uint64 {
+	v := g.draw()
+	if bound != 0 {
+		v %= bound
+	}
+	return v
+}
+
+// Intn draws an int in [0, n); n must be positive.
+func (g *Gen) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("testutil: Gen.Intn bound %d", n))
+	}
+	return int(g.Uint64(uint64(n)))
+}
+
+// Range draws an int in [lo, hi]; lo shrinks first.
+func (g *Gen) Range(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("testutil: Gen.Range [%d, %d]", lo, hi))
+	}
+	return lo + g.Intn(hi-lo+1)
+}
+
+// Bool draws a boolean; false is the shrink target.
+func (g *Gen) Bool() bool { return g.Uint64(2) == 1 }
+
+// Float64 draws a float in [0, 1) on a 2^53 grid; 0 is the shrink
+// target.
+func (g *Gen) Float64() float64 {
+	return float64(g.Uint64(1<<53)) / (1 << 53)
+}
+
+// runProp executes the property on g, converting panics to failures so
+// shrinking also minimizes panic-inducing inputs.
+func runProp(prop Property, g *Gen) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("testutil: property panicked: %v", r)
+		}
+	}()
+	return prop(g)
+}
+
+// maxShrinkRounds bounds the number of property replays spent
+// shrinking, so pathological properties cannot hang the suite.
+const maxShrinkRounds = 4096
+
+// Check runs the property on `runs` freshly generated choice sequences
+// (deterministic in the test name via a fixed base seed, so failures
+// reproduce). On the first failure it shrinks the choice sequence to a
+// minimal counterexample, replays it, and fails the test with the
+// minimal tape — paste the tape into Replay to debug.
+func Check(t *testing.T, runs int, prop Property) {
+	t.Helper()
+	if tape, err, found := checkFailure(runs, prop); found {
+		t.Fatalf("property failed (shrunk to %d choices): %v\nreplay tape: %#v",
+			len(tape), err, tape)
+	}
+}
+
+// checkFailure is Check's core: it returns the shrunk counterexample
+// tape and its failure, or found=false when every run passes. Split out
+// so the harness's own tests can inspect minimal counterexamples
+// without tripping a testing.T.
+func checkFailure(runs int, prop Property) (tape []uint64, err error, found bool) {
+	for run := 0; run < runs; run++ {
+		g := &Gen{rng: rand.New(rand.NewSource(0x5055 ^ int64(run)*0x9e3779b9))}
+		err := runProp(prop, g)
+		if err == nil || errors.Is(err, Skip) {
+			continue
+		}
+		tape := shrinkTape(g.tape[:g.pos], prop)
+		final := runProp(prop, &Gen{tape: tape})
+		if final == nil || errors.Is(final, Skip) {
+			// The shrunk tape should still fail by construction; if the
+			// property is flaky the original error is the best report.
+			final = err
+		}
+		return tape, final, true
+	}
+	return nil, nil, false
+}
+
+// Replay runs the property on a recorded choice tape, for debugging a
+// counterexample reported by Check.
+func Replay(t *testing.T, tape []uint64, prop Property) {
+	t.Helper()
+	if err := runProp(prop, &Gen{tape: tape}); err != nil && !errors.Is(err, Skip) {
+		t.Fatalf("property failed on replay tape: %v", err)
+	}
+}
+
+// fails reports whether the property still fails on the candidate tape.
+func fails(prop Property, tape []uint64) bool {
+	err := runProp(prop, &Gen{tape: tape})
+	return err != nil && !errors.Is(err, Skip)
+}
+
+// shrinkTape greedily minimizes a failing tape: first deleting chunks
+// (halving chunk size down to single choices), then minimizing each
+// choice value (zero, halving, decrement), repeating until a full pass
+// makes no progress or the round budget runs out.
+func shrinkTape(tape []uint64, prop Property) []uint64 {
+	cur := append([]uint64(nil), tape...)
+	budget := maxShrinkRounds
+	try := func(cand []uint64) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(prop, cand)
+	}
+	for improved := true; improved && budget > 0; {
+		improved = false
+		for size := len(cur) / 2; size >= 1; size /= 2 {
+			for start := 0; start+size <= len(cur); {
+				cand := make([]uint64, 0, len(cur)-size)
+				cand = append(cand, cur[:start]...)
+				cand = append(cand, cur[start+size:]...)
+				if try(cand) {
+					cur = cand
+					improved = true
+				} else {
+					start += size
+				}
+			}
+		}
+		for i := range cur {
+			for _, c := range []uint64{0, cur[i] / 2, cur[i] - 1} {
+				if c >= cur[i] {
+					continue
+				}
+				cand := append([]uint64(nil), cur...)
+				cand[i] = c
+				if try(cand) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+	}
+	return cur
+}

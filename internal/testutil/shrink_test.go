@@ -1,0 +1,150 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// shrinkOutcome drives the harness core and reports the shrunk
+// counterexample's message, so the tests below can assert the reported
+// counterexample is minimal.
+func shrinkOutcome(t *testing.T, runs int, prop Property) (failed bool, message string) {
+	t.Helper()
+	_, err, found := checkFailure(runs, prop)
+	if !found {
+		return false, ""
+	}
+	return true, err.Error()
+}
+
+// TestCheckPassesTrivialProperty checks a tautology never fails.
+func TestCheckPassesTrivialProperty(t *testing.T) {
+	Check(t, 50, func(g *Gen) error {
+		if v := g.Intn(100); v < 0 || v >= 100 {
+			return fmt.Errorf("Intn(100) out of range: %d", v)
+		}
+		return nil
+	})
+}
+
+// TestCheckShrinksToMinimalValue checks the harness minimizes a scalar
+// counterexample: a property failing for v >= 10 must report exactly 10.
+func TestCheckShrinksToMinimalValue(t *testing.T) {
+	failed, msg := shrinkOutcome(t, 200, func(g *Gen) error {
+		if v := g.Intn(1000); v >= 10 {
+			return fmt.Errorf("counterexample v=%d", v)
+		}
+		return nil
+	})
+	if !failed {
+		t.Fatal("property should have failed")
+	}
+	if !strings.Contains(msg, "v=10") {
+		t.Fatalf("minimal counterexample should be v=10, got %q", msg)
+	}
+}
+
+// TestCheckShrinksListLength checks chunk deletion minimizes structure: a
+// property failing when a drawn list has >= 3 elements over some value
+// must come back with exactly 3 minimal elements.
+func TestCheckShrinksListLength(t *testing.T) {
+	failed, msg := shrinkOutcome(t, 200, func(g *Gen) error {
+		n := g.Intn(50)
+		big := 0
+		for i := 0; i < n; i++ {
+			if g.Intn(100) >= 5 {
+				big++
+			}
+		}
+		if big >= 3 {
+			return fmt.Errorf("counterexample n=%d big=%d", n, big)
+		}
+		return nil
+	})
+	if !failed {
+		t.Fatal("property should have failed")
+	}
+	// Minimal shape: exactly 3 elements, all of them "big", and a list
+	// just long enough to hold them.
+	if !strings.Contains(msg, "n=3 big=3") {
+		t.Fatalf("minimal counterexample should be n=3 big=3, got %q", msg)
+	}
+}
+
+// TestCheckShrinksPanics checks panicking properties are treated as
+// failures and still shrink.
+func TestCheckShrinksPanics(t *testing.T) {
+	failed, _ := shrinkOutcome(t, 100, func(g *Gen) error {
+		if g.Intn(100) >= 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if !failed {
+		t.Fatal("panicking property should have failed")
+	}
+}
+
+// TestSkipDiscardsCases checks Skip neither passes nor fails: a property
+// that skips every case runs clean.
+func TestSkipDiscardsCases(t *testing.T) {
+	Check(t, 20, func(g *Gen) error {
+		g.Intn(10)
+		return Skip
+	})
+}
+
+// TestReplayReproducesTape checks a recorded tape replays the same
+// drawn values, and reads past the tape end return the minimal choice.
+func TestReplayReproducesTape(t *testing.T) {
+	tape := []uint64{7, 123456, 1}
+	Replay(t, tape, func(g *Gen) error {
+		if v := g.Intn(10); v != 7 {
+			return fmt.Errorf("draw 0: got %d, want 7", v)
+		}
+		if v := g.Uint64(0); v != 123456 {
+			return fmt.Errorf("draw 1: got %d, want 123456", v)
+		}
+		if !g.Bool() {
+			return fmt.Errorf("draw 2: got false, want true")
+		}
+		if v := g.Intn(999); v != 0 {
+			return fmt.Errorf("draw past tape end: got %d, want 0", v)
+		}
+		return nil
+	})
+}
+
+// TestGenDeterminism checks generation mode is deterministic in the run
+// index: two Checks over the same property see identical draw streams.
+func TestGenDeterminism(t *testing.T) {
+	record := func() []int {
+		var out []int
+		Check(t, 5, func(g *Gen) error {
+			out = append(out, g.Intn(1_000_000))
+			return nil
+		})
+		return out
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across runs: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRangeAndFloatBounds checks the derived draw helpers respect their
+// documented ranges at the shrink target and beyond.
+func TestRangeAndFloatBounds(t *testing.T) {
+	Check(t, 100, func(g *Gen) error {
+		if v := g.Range(-3, 3); v < -3 || v > 3 {
+			return fmt.Errorf("Range(-3, 3) out of range: %d", v)
+		}
+		if f := g.Float64(); f < 0 || f >= 1 {
+			return fmt.Errorf("Float64 out of range: %v", f)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# remediate-smoke: prove the closed-loop policy comparison's CLI
+# contracts end to end. The canonical small comparison must (1) match
+# the committed e2e golden byte for byte, (2) reproduce itself exactly
+# across runs and worker counts, and (3) reject bad flags with the
+# conventional usage-error exit status 2. CI uploads the report as the
+# REMEDIATE_report artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=${REMEDIATE_SMOKE_DIR:-REMEDIATE_smoke.d}
+BIN="$OUT/tsubame-remediate"
+# The canonical comparison: the same flags TestRemediateCLI pins, so the
+# committed golden serves both gates.
+FLAGS=(-system t2 -seeds 2 -horizon 1000 -accuracy 0.5 -spares fixed -stock 2)
+GOLDEN=e2e/testdata/remediate.golden
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+go build -o "$BIN" ./cmd/tsubame-remediate
+
+echo "remediate-smoke: reference run"
+"$BIN" "${FLAGS[@]}" > "$OUT/report.json"
+
+if ! cmp -s "$GOLDEN" "$OUT/report.json"; then
+    echo "remediate-smoke: FAIL - report differs from $GOLDEN"
+    echo "  (regenerate with: go test ./e2e -run TestRemediateCLI -update)"
+    exit 1
+fi
+
+echo "remediate-smoke: second run at -workers 3 must be byte-identical"
+"$BIN" "${FLAGS[@]}" -workers 3 > "$OUT/report2.json"
+if ! cmp -s "$OUT/report.json" "$OUT/report2.json"; then
+    echo "remediate-smoke: FAIL - report is not deterministic across runs/workers"
+    exit 1
+fi
+
+echo "remediate-smoke: bad flags must exit 2 with usage"
+for bad in "-seeds 0" "-policies paint" "-spares hope" "-accuracy 1"; do
+    # shellcheck disable=SC2086  # word-splitting the flag pair is intended
+    if "$BIN" $bad > /dev/null 2> "$OUT/stderr.txt"; then
+        echo "remediate-smoke: FAIL - '$bad' exited 0"
+        exit 1
+    elif [ $? -ne 2 ]; then
+        echo "remediate-smoke: FAIL - '$bad' did not exit 2"
+        exit 1
+    fi
+    if ! grep -qi usage "$OUT/stderr.txt"; then
+        echo "remediate-smoke: FAIL - '$bad' printed no usage"
+        exit 1
+    fi
+done
+
+echo "remediate-smoke: ok - golden match, deterministic, exit-2 contract holds"
